@@ -1,0 +1,53 @@
+"""Figure 2 — optimisation efficiency of BGD, SGD, and MGD.
+
+Timed kernel: one epoch of each gradient-descent variant.  The accuracy-vs-
+epoch series (the actual Figure 2 curves) is printed at the end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_fig2
+from repro.bench.reporting import format_series
+from repro.bench.workloads import labeled_dataset
+from repro.ml.reference import gradient_descent_spectrum
+
+N_ROWS = 1000
+
+VARIANTS = {
+    "SGD": 1,
+    "MGD-250": 250,
+    "MGD-50pct": N_ROWS // 2,
+    "BGD": N_ROWS,
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_one_epoch(benchmark, variant):
+    features, labels = labeled_dataset("mnist", N_ROWS, seed=0)
+    batch_size = VARIANTS[variant]
+    benchmark(
+        gradient_descent_spectrum, features, labels, batch_size=batch_size, epochs=1, seed=0
+    )
+
+
+def test_report_figure2(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_fig2, kwargs=dict(n_rows=N_ROWS, epochs=15), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            format_series(
+                "Figure 2 — optimisation efficiency (accuracy per epoch)",
+                "epoch",
+                result["epochs"],
+                result["curves"],
+            )
+        )
+        print()
+    curves = result["curves"]
+    # The Figure 2 shape: per epoch, MGD reaches at least BGD's accuracy
+    # (it takes many more update steps per epoch).
+    assert curves["MGD (250 rows)"][-1] >= curves["BGD"][-1] - 0.02

@@ -1,0 +1,51 @@
+"""Figure 5 — compression ratios of all schemes on 50-250 row mini-batches.
+
+Timed kernel: compressing one 250-row mini-batch per scheme.  The ratio table
+itself (the series plotted in Figure 5) is printed once at the end of the
+module via the experiment driver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_DATASETS
+from repro.bench.experiments import run_fig5
+from repro.bench.reporting import format_series
+from repro.compression.registry import get_scheme
+
+SCHEMES = ("CSR", "CVI", "DVI", "Snappy", "Gzip", "TOC", "CLA")
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_compress_minibatch(benchmark, bench_batches, dataset, scheme):
+    """Time compressing one 250-row mini-batch (the cost Figure 12 also reports)."""
+    batch = bench_batches[dataset]
+    factory = get_scheme(scheme)
+    result = benchmark(factory.compress, batch)
+    benchmark.extra_info["compression_ratio"] = result.compression_ratio()
+    benchmark.extra_info["dataset"] = dataset
+
+
+def test_report_figure5_series(benchmark, capsys):
+    """Regenerate and print the Figure 5 series (ratios vs mini-batch size)."""
+    results = benchmark.pedantic(
+        run_fig5,
+        kwargs=dict(batch_sizes=(50, 100, 150, 200, 250), datasets=("census", "kdd99")),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        for dataset, per_scheme in results.items():
+            sizes = list(next(iter(per_scheme.values())).keys())
+            series = {name: [vals[s] for s in sizes] for name, vals in per_scheme.items()}
+            print(format_series(f"Figure 5 — {dataset} compression ratios", "# rows", sizes, series))
+            print()
+    # Shape assertions mirroring the paper's conclusions.
+    for dataset in ("census", "kdd99"):
+        per_scheme = results[dataset]
+        assert per_scheme["TOC"][250] > per_scheme["CSR"][250]
+        assert per_scheme["TOC"][250] > per_scheme["CVI"][250]
+        assert per_scheme["TOC"][250] > per_scheme["CLA"][250]

@@ -1,0 +1,49 @@
+"""Figure 6 — ablation of TOC's encoding layers on compression ratios.
+
+Timed kernel: encoding a 250-row batch with each TOC variant.  The ablation
+series (sparse / sparse+logical / full) is printed at the end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_DATASETS
+from repro.bench.experiments import run_fig6
+from repro.bench.reporting import format_series
+from repro.compression.registry import get_scheme
+
+VARIANTS = ("TOC_SPARSE", "TOC_SPARSE_AND_LOGICAL", "TOC")
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_encode_variant(benchmark, bench_batches, dataset, variant):
+    batch = bench_batches[dataset]
+    factory = get_scheme(variant)
+    result = benchmark(factory.compress, batch)
+    benchmark.extra_info["compression_ratio"] = result.compression_ratio()
+    benchmark.extra_info["dataset"] = dataset
+
+
+def test_report_figure6_series(benchmark, capsys):
+    results = benchmark.pedantic(
+        run_fig6,
+        kwargs=dict(batch_sizes=(50, 150, 250), datasets=("census", "kdd99")),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        for dataset, per_variant in results.items():
+            sizes = list(next(iter(per_variant.values())).keys())
+            series = {name: [vals[s] for s in sizes] for name, vals in per_variant.items()}
+            print(format_series(f"Figure 6 — {dataset} TOC ablation", "# rows", sizes, series))
+            print()
+    for dataset in results:
+        per_variant = results[dataset]
+        assert (
+            per_variant["TOC"][250]
+            > per_variant["TOC_SPARSE_AND_LOGICAL"][250]
+            > per_variant["TOC_SPARSE"][250]
+        )

@@ -1,0 +1,53 @@
+"""Figure 7 — compression ratios on large mini-batches (up to full-batch BGD).
+
+Timed kernel: TOC encoding of progressively larger batches.  The ratio-vs-
+fraction series is printed at the end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_fig7
+from repro.bench.reporting import format_series
+from repro.bench.workloads import minibatch_for
+from repro.compression.registry import get_scheme
+
+FRACTIONS = (0.1, 0.5, 1.0)
+TOTAL_ROWS = 1500
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_toc_encode_large_batch(benchmark, fraction):
+    batch = minibatch_for("census", max(1, int(TOTAL_ROWS * fraction)), seed=0)
+    factory = get_scheme("TOC")
+    result = benchmark(factory.compress, batch)
+    benchmark.extra_info["rows"] = batch.shape[0]
+    benchmark.extra_info["compression_ratio"] = result.compression_ratio()
+
+
+def test_report_figure7_series(benchmark, capsys):
+    results = benchmark.pedantic(
+        run_fig7,
+        kwargs=dict(
+            fractions=(0.05, 0.1, 0.25, 0.5, 1.0),
+            datasets=("census", "kdd99"),
+            total_rows=TOTAL_ROWS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        for dataset, per_scheme in results.items():
+            fractions = list(next(iter(per_scheme.values())).keys())
+            series = {name: [vals[f] for f in fractions] for name, vals in per_scheme.items()}
+            print(
+                format_series(
+                    f"Figure 7 — {dataset} large mini-batches", "fraction of rows", fractions, series
+                )
+            )
+            print()
+    # TOC's ratio keeps improving with batch size (the BGD-potential claim).
+    census = results["census"]["TOC"]
+    assert census[1.0] >= census[0.05]

@@ -1,0 +1,61 @@
+"""Figure 9 — end-to-end MGD runtime as a function of the dataset size.
+
+The crossover the figure shows (all schemes similar while everything fits in
+memory, TOC pulling ahead once the uncompressed formats spill) is asserted
+on the regenerated series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_end_to_end, run_fig9
+from repro.bench.reporting import format_series
+
+ROW_COUNTS = (500, 1000, 2000)
+SCHEMES = ("TOC", "DEN", "CSR", "CVI")
+
+
+@pytest.mark.parametrize("rows", ROW_COUNTS)
+def test_toc_training_scales_with_rows(benchmark, rows):
+    benchmark.pedantic(
+        run_end_to_end,
+        kwargs=dict(
+            dataset="imagenet",
+            scheme_name="TOC",
+            model_name="LR",
+            n_rows=rows,
+            memory_budget_bytes=10**9,
+            epochs=1,
+            batch_size=250,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_report_figure9(benchmark, capsys):
+    results = benchmark.pedantic(
+        run_fig9,
+        kwargs=dict(
+            dataset="imagenet",
+            schemes=SCHEMES,
+            row_counts=ROW_COUNTS,
+            models=("LR", "NN"),
+            epochs=1,
+            batch_size=250,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        for model, per_scheme in results.items():
+            series = {name: [vals[r] for r in ROW_COUNTS] for name, vals in per_scheme.items()}
+            print(format_series(f"Figure 9 — {model} runtime (seconds)", "# rows", ROW_COUNTS, series))
+            print()
+    # At the largest size (where DEN/CSR spill but TOC fits) TOC wins on LR.
+    lr = results["LR"]
+    largest = ROW_COUNTS[-1]
+    assert lr["TOC"][largest] < lr["DEN"][largest]
+    assert lr["TOC"][largest] < lr["CSR"][largest]

@@ -1,0 +1,51 @@
+"""Figure 10 — ablation of TOC's encoding layers on end-to-end MGD runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_end_to_end, run_fig10
+from repro.bench.reporting import format_series
+
+ROW_COUNTS = (500, 1000, 2000)
+VARIANTS = ("DEN", "TOC_SPARSE", "TOC_SPARSE_AND_LOGICAL", "TOC")
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_train_with_variant(benchmark, variant):
+    benchmark.pedantic(
+        run_end_to_end,
+        kwargs=dict(
+            dataset="imagenet",
+            scheme_name=variant,
+            model_name="LR",
+            n_rows=500,
+            memory_budget_bytes=10**9,
+            epochs=1,
+            batch_size=250,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_report_figure10(benchmark, capsys):
+    results = benchmark.pedantic(
+        run_fig10,
+        kwargs=dict(
+            dataset="imagenet", row_counts=ROW_COUNTS, models=("LR",), epochs=1, batch_size=250
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        for model, per_variant in results.items():
+            series = {name: [vals[r] for r in ROW_COUNTS] for name, vals in per_variant.items()}
+            print(format_series(f"Figure 10 — {model} TOC ablation (seconds)", "# rows", ROW_COUNTS, series))
+            print()
+    # At the largest size the fully-encoded variant (smallest footprint, least
+    # IO under memory pressure) must not lose to the dense baseline.
+    lr = results["LR"]
+    largest = ROW_COUNTS[-1]
+    assert lr["TOC"][largest] < lr["DEN"][largest]

@@ -1,0 +1,56 @@
+"""Table 7 — end-to-end MGD runtimes on the Census- and Kdd99-like profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_end_to_end, run_table7
+from repro.bench.reporting import format_table
+
+SMALL_ROWS = 500
+LARGE_ROWS = 2000
+BATCH = 250
+
+
+@pytest.mark.parametrize("dataset", ("census", "kdd99"))
+@pytest.mark.parametrize("scheme", ("TOC", "DEN", "CSR"))
+def test_train_small_scale(benchmark, dataset, scheme):
+    benchmark.pedantic(
+        run_end_to_end,
+        kwargs=dict(
+            dataset=dataset,
+            scheme_name=scheme,
+            model_name="LR",
+            n_rows=SMALL_ROWS,
+            memory_budget_bytes=10**9,
+            epochs=1,
+            batch_size=BATCH,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_report_table7(benchmark, capsys):
+    results = benchmark.pedantic(
+        run_table7,
+        kwargs=dict(
+            models=("NN", "LR", "SVM"),
+            schemes=("TOC", "DEN", "CSR", "CVI", "DVI", "Snappy", "Gzip"),
+            small_rows=SMALL_ROWS,
+            large_rows=LARGE_ROWS,
+            epochs=1,
+            batch_size=BATCH,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        for key, per_scheme in results.items():
+            print(format_table(f"Table 7 — {key} (seconds, simulated IO included)", per_scheme, ["NN", "LR", "SVM"], "{:.3f}"))
+            print()
+    for dataset in ("census", "kdd99"):
+        large = results[f"{dataset}-large"]
+        assert large["TOC"]["LR"] < large["DEN"]["LR"]
+        assert large["TOC"]["SVM"] < large["DEN"]["SVM"]

@@ -1,0 +1,50 @@
+"""Survey the compression behaviour of every scheme across dataset profiles.
+
+Run with::
+
+    python examples/compression_study.py
+
+Prints a Figure 5-style table: compression ratios for the paper's six
+dataset profiles, plus the TOC ablation (sparse encoding only, sparse +
+logical, full) showing how much each encoding layer contributes.  Use it to
+decide — as Section 5.1 of the paper recommends — whether TOC is a good fit
+for your own data by testing it on a mini-batch sample.
+"""
+
+from __future__ import annotations
+
+from repro import available_schemes, get_scheme
+from repro.bench.reporting import format_table
+from repro.data.registry import DATASET_PROFILES
+
+BATCH_ROWS = 250
+
+
+def main() -> None:
+    scheme_names = available_schemes() + ["TOC_SPARSE", "TOC_SPARSE_AND_LOGICAL"]
+    rows: dict[str, dict[str, float]] = {}
+    for dataset, profile in DATASET_PROFILES.items():
+        batch = profile.matrix(BATCH_ROWS, seed=0)
+        rows[dataset] = {
+            name: get_scheme(name).compress(batch).compression_ratio() for name in scheme_names
+        }
+
+    print(
+        format_table(
+            f"Compression ratios on {BATCH_ROWS}-row mini-batches (higher is better)",
+            rows,
+            scheme_names,
+            "{:.1f}",
+        )
+    )
+
+    print()
+    print("Reading the table the way Section 5.1 of the paper does:")
+    print(" * moderate-sparsity profiles (census/imagenet/mnist/kdd99): TOC beats the")
+    print("   light-weight matrix schemes and is comparable to Gzip;")
+    print(" * rcv1 (extremely sparse): CSR is enough, TOC tracks it closely;")
+    print(" * deep1b (dense, continuous values): nothing compresses - use DEN.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Train logistic regression with MGD over TOC-compressed mini-batches.
+
+Run with::
+
+    python examples/train_logistic_regression.py
+
+This is the paper's core workload: mini-batch stochastic gradient descent
+where every mini-batch is compressed once up front and every epoch's matrix
+operations (``A @ w`` and ``g @ A``) execute directly on the compressed
+representation.  The script trains the same model on the dense batches and
+on the compressed batches and shows that the learned parameters are
+identical while the compressed batches are several times smaller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DATASET_PROFILES,
+    GradientDescentConfig,
+    LogisticRegressionModel,
+    MiniBatchGradientDescent,
+    get_scheme,
+)
+from repro.ml.metrics import accuracy
+
+
+def main() -> None:
+    # A labelled ImageNet-feature-like dataset (moderate sparsity).
+    profile = DATASET_PROFILES["imagenet"]
+    features, labels = profile.classification(2000, seed=7)
+    train_x, train_y = features[:1600], labels[:1600]
+    test_x, test_y = features[1600:], labels[1600:]
+
+    config = GradientDescentConfig(batch_size=250, epochs=10, learning_rate=0.3)
+    optimizer = MiniBatchGradientDescent(config)
+
+    # Train on TOC-compressed mini-batches.
+    toc_scheme = get_scheme("TOC")
+    toc_batches = optimizer.prepare_batches(train_x, train_y, scheme=toc_scheme)
+    compressed_bytes = sum(batch.nbytes for batch, _ in toc_batches)
+    dense_bytes = train_x.size * 8
+    print(f"{len(toc_batches)} mini-batches: dense {dense_bytes / 1e6:.1f} MB -> "
+          f"TOC {compressed_bytes / 1e6:.2f} MB ({dense_bytes / compressed_bytes:.1f}x)")
+
+    toc_model = LogisticRegressionModel(train_x.shape[1], seed=0)
+    history = optimizer.train(toc_model, toc_batches)
+    print(f"trained {config.epochs} epochs on compressed batches "
+          f"in {history.total_time:.2f}s, final loss {history.final_loss:.4f}")
+
+    # Train the identical model on the raw dense batches for comparison.
+    dense_model = LogisticRegressionModel(train_x.shape[1], seed=0)
+    optimizer.fit(dense_model, train_x, train_y)
+
+    assert np.allclose(toc_model.get_parameters(), dense_model.get_parameters(), rtol=1e-8)
+    print("compressed and dense training produced identical parameters")
+
+    print(f"train accuracy: {accuracy(toc_model.predict(train_x), train_y):.3f}")
+    print(f"test accuracy:  {accuracy(toc_model.predict(test_x), test_y):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  This shim lets ``python setup.py develop`` (and thus
+``pip install -e . --no-build-isolation --no-use-pep517``) work as a
+fallback; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — tuple-oriented compression (TOC) for mini-batch SGD.
+
+A reproduction of *Tuple-oriented Compression for Large-scale Mini-batch
+Stochastic Gradient Descent* (Li et al., SIGMOD 2019).
+
+The public API re-exports the pieces most users need:
+
+* :class:`TOCMatrix` — compress a mini-batch and run matrix operations
+  directly on the compressed representation;
+* :func:`get_scheme` / :func:`available_schemes` — the seven comparison
+  schemes plus TOC behind one interface;
+* the MGD training stack (models, optimizer, metrics);
+* the dataset profiles mirroring the paper's Table 5;
+* the Bismarck-style storage layer (buffer pool + blob table + session).
+"""
+
+from repro.compression import available_schemes, get_scheme
+from repro.core import TOCMatrix, TOCVariant
+from repro.core.advisor import recommend_scheme
+from repro.data import DATASET_PROFILES, generate_dataset, split_minibatches
+from repro.ml import (
+    FeedForwardNetwork,
+    GradientDescentConfig,
+    LinearRegressionModel,
+    LinearSVMModel,
+    LogisticRegressionModel,
+    MiniBatchGradientDescent,
+    OneVsRestClassifier,
+)
+from repro.storage import BismarckSession, BufferPool
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BismarckSession",
+    "BufferPool",
+    "DATASET_PROFILES",
+    "FeedForwardNetwork",
+    "GradientDescentConfig",
+    "LinearRegressionModel",
+    "LinearSVMModel",
+    "LogisticRegressionModel",
+    "MiniBatchGradientDescent",
+    "OneVsRestClassifier",
+    "TOCMatrix",
+    "TOCVariant",
+    "available_schemes",
+    "generate_dataset",
+    "get_scheme",
+    "recommend_scheme",
+    "split_minibatches",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands are provided:
+
+* ``info`` — package version, registered schemes, dataset profiles;
+* ``advise`` — run the scheme advisor on a sample mini-batch drawn from a
+  named dataset profile (Section 5.1's "test TOC on a sample" advice);
+* ``experiment`` — run one of the paper's tables/figures by id (delegates to
+  :mod:`repro.bench.experiments`, e.g. ``python -m repro experiment fig5``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__, available_schemes
+from repro.bench import experiments
+from repro.core.advisor import recommend_scheme
+from repro.data.registry import DATASET_PROFILES
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — tuple-oriented compression for mini-batch SGD")
+    print(f"schemes:  {', '.join(available_schemes(include_ablations=True))}")
+    print("datasets: " + ", ".join(sorted(DATASET_PROFILES)))
+    print("experiments: " + ", ".join(sorted(experiments.EXPERIMENTS)))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    profile = DATASET_PROFILES.get(args.dataset)
+    if profile is None:
+        print(f"unknown dataset profile {args.dataset!r}; known: {sorted(DATASET_PROFILES)}")
+        return 2
+    sample = profile.matrix(args.rows, seed=args.seed)
+    recommendation = recommend_scheme(sample)
+    print(f"sample: {args.rows} rows x {sample.shape[1]} columns from {args.dataset!r}")
+    print(f"{'scheme':<10} {'ratio':>8} {'direct ops':>11} {'score':>8}")
+    for report in recommendation.reports:
+        print(
+            f"{report.name:<10} {report.compression_ratio:>8.1f} "
+            f"{str(report.supports_direct_ops):>11} {report.score:>8.1f}"
+        )
+    print(f"\nrecommended scheme: {recommendation.best.name}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    cli_args = [args.experiment_id]
+    if args.quick:
+        cli_args.append("--quick")
+    return experiments.main(cli_args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="show version, schemes, datasets, experiments")
+    info.set_defaults(func=_cmd_info)
+
+    advise = subparsers.add_parser("advise", help="recommend a scheme for a dataset profile")
+    advise.add_argument("--dataset", default="census", help="dataset profile name")
+    advise.add_argument("--rows", type=int, default=250, help="sample mini-batch rows")
+    advise.add_argument("--seed", type=int, default=0, help="sample seed")
+    advise.set_defaults(func=_cmd_advise)
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument("experiment_id", choices=sorted(experiments.EXPERIMENTS))
+    experiment.add_argument("--quick", action="store_true", help="reduced row counts / epochs")
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

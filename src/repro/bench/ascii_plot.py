@@ -1,0 +1,90 @@
+"""Minimal ASCII line charts for rendering the paper's figures in a terminal.
+
+The benchmark harness prints every figure as a table of series
+(:mod:`repro.bench.reporting`); this module adds an optional chart rendering
+so the shapes (crossovers, who-wins orderings) can be eyeballed without
+matplotlib, which is not available in the offline environment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+#: Characters used to mark the successive series of one chart.
+_MARKERS = "oxv*#@+%"
+
+
+def render_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render line series as an ASCII chart.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    x_values:
+        Shared x coordinates (monotonically increasing).
+    series:
+        Mapping from series name to y values (same length as ``x_values``).
+    width, height:
+        Plot area size in characters.
+    log_y:
+        Plot ``log10`` of the values (useful for runtime figures whose series
+        span orders of magnitude).
+
+    Returns
+    -------
+    A multi-line string: the chart, a y-axis range annotation, and a legend.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 10 or height < 4:
+        raise ValueError("the plot area must be at least 10x4 characters")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} has {len(ys)} points, expected {len(x_values)}")
+    if len(x_values) < 2:
+        raise ValueError("at least two x values are required")
+
+    import math
+
+    def transform(value: float) -> float:
+        if not log_y:
+            return float(value)
+        return math.log10(max(float(value), 1e-12))
+
+    all_values = [transform(y) for ys in series.values() for y in ys]
+    y_min, y_max = min(all_values), max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_values[0]), float(x_values[-1])
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        for x, y in zip(x_values, ys):
+            col = round((float(x) - x_min) / (x_max - x_min) * (width - 1))
+            row = round((transform(y) - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [title]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    axis_note = f"x: {x_values[0]} .. {x_values[-1]}"
+    if log_y:
+        axis_note += f"   y (log10): {y_min:.2f} .. {y_max:.2f}"
+    else:
+        axis_note += f"   y: {y_min:.3g} .. {y_max:.3g}"
+    lines.append(axis_note)
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

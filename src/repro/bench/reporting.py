@@ -1,0 +1,48 @@
+"""Formatting helpers producing the same rows/series the paper reports."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    value_format: str = "{:.3g}",
+) -> str:
+    """Render a nested mapping ``{row: {column: value}}`` as an aligned table."""
+    col_width = max([len(c) for c in columns] + [10])
+    row_label_width = max([len(r) for r in rows] + [12])
+    lines = [title]
+    header = " " * row_label_width + " | " + " | ".join(f"{c:>{col_width}}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_name, row_values in rows.items():
+        cells = []
+        for column in columns:
+            value = row_values.get(column)
+            cells.append(
+                f"{value_format.format(value):>{col_width}}" if value is not None else " " * col_width
+            )
+        lines.append(f"{row_name:<{row_label_width}} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.3g}",
+) -> str:
+    """Render one figure's line series as a table with the x values as columns."""
+    rows = {
+        name: {str(x): y for x, y in zip(x_values, ys)} for name, ys in series.items()
+    }
+    return format_table(
+        f"{title}  (columns: {x_label})",
+        rows,
+        [str(x) for x in x_values],
+        value_format=value_format,
+    )

@@ -1,0 +1,78 @@
+"""Measurement helpers: compression ratios, operation timings, codec timings."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.registry import get_scheme
+
+
+@dataclass(frozen=True)
+class CompressionMeasurement:
+    """Result of compressing one mini-batch with one scheme."""
+
+    scheme: str
+    dense_bytes: int
+    compressed_bytes: int
+    compress_seconds: float
+    decompress_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        return self.dense_bytes / max(self.compressed_bytes, 1)
+
+
+def measure_compression(scheme_name: str, minibatch: np.ndarray) -> CompressionMeasurement:
+    """Compress and decompress one batch, measuring sizes and times."""
+    scheme = get_scheme(scheme_name)
+    dense_bytes = minibatch.shape[0] * minibatch.shape[1] * 8
+
+    start = time.perf_counter()
+    compressed = scheme.compress(minibatch)
+    compress_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    decoded = compressed.to_dense()
+    decompress_seconds = time.perf_counter() - start
+    if decoded.shape != minibatch.shape:
+        raise AssertionError(f"{scheme_name} round-trip changed the shape")
+
+    return CompressionMeasurement(
+        scheme=scheme_name,
+        dense_bytes=dense_bytes,
+        compressed_bytes=compressed.nbytes,
+        compress_seconds=compress_seconds,
+        decompress_seconds=decompress_seconds,
+    )
+
+
+def time_callable(func, repeats: int = 3) -> float:
+    """Median wall-clock seconds of calling ``func()`` ``repeats`` times."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def time_matrix_ops(compressed, n_cols: int, n_rows: int, m_width: int = 20, repeats: int = 3,
+                    seed: int = 0) -> dict[str, float]:
+    """Time the five matrix operations of Figure 8 on one compressed batch."""
+    rng = np.random.default_rng(seed)
+    v_right = rng.normal(size=n_cols)
+    v_left = rng.normal(size=n_rows)
+    m_right = rng.normal(size=(n_cols, m_width))
+    m_left = rng.normal(size=(m_width, n_rows))
+    return {
+        "A*c": time_callable(lambda: compressed.scale(2.0), repeats),
+        "A*v": time_callable(lambda: compressed.matvec(v_right), repeats),
+        "A*M": time_callable(lambda: compressed.matmat(m_right), repeats),
+        "v*A": time_callable(lambda: compressed.rmatvec(v_left), repeats),
+        "M*A": time_callable(lambda: compressed.rmatmat(m_left), repeats),
+    }

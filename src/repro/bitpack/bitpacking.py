@@ -1,0 +1,119 @@
+"""Byte-width bit packing of non-negative integer arrays.
+
+The paper's physical encoding (Section 3.2) stores arrays of small
+non-negative integers using ``ceil((floor(log2(max)) + 1) / 8)`` bytes per
+integer, plus a small header recording the count and the byte width.  This
+module implements exactly that scheme with NumPy, including the uint24 case
+(three bytes per integer) that most languages do not support natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_HEADER_DTYPE = np.dtype("<u4")
+_SUPPORTED_WIDTHS = (1, 2, 3, 4)
+
+
+def bytes_per_integer(max_value: int) -> int:
+    """Return the number of bytes needed to store ``max_value``.
+
+    Follows the paper's formula ``ceil((log2(max) + 1) / 8)`` with the
+    convention that an all-zero (or empty) array still uses one byte per
+    integer so the representation stays self-describing.
+    """
+    if max_value < 0:
+        raise ValueError(f"bit packing requires non-negative integers, got {max_value}")
+    if max_value == 0:
+        return 1
+    bits = int(max_value).bit_length()
+    width = (bits + 7) // 8
+    if width > 4:
+        raise ValueError(
+            f"value {max_value} needs {width} bytes; only widths up to 4 are supported"
+        )
+    return width
+
+
+@dataclass(frozen=True)
+class PackedIntArray:
+    """A packed array of non-negative integers.
+
+    Attributes
+    ----------
+    data:
+        Raw little-endian payload bytes (``count * width`` bytes).
+    count:
+        Number of integers stored.
+    width:
+        Bytes used per integer (1, 2, 3, or 4).
+    """
+
+    data: bytes
+    count: int
+    width: int
+
+    @property
+    def nbytes(self) -> int:
+        """Total size in bytes including the 8-byte header."""
+        return len(self.data) + 2 * _HEADER_DTYPE.itemsize
+
+    def to_bytes(self) -> bytes:
+        """Serialise to a self-describing byte string (header + payload)."""
+        header = np.array([self.count, self.width], dtype=_HEADER_DTYPE).tobytes()
+        return header + self.data
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> tuple["PackedIntArray", int]:
+        """Parse a packed array from ``raw``; return it and the bytes consumed."""
+        header_size = 2 * _HEADER_DTYPE.itemsize
+        if len(raw) < header_size:
+            raise ValueError("truncated packed-integer header")
+        count, width = np.frombuffer(raw[:header_size], dtype=_HEADER_DTYPE)
+        count = int(count)
+        width = int(width)
+        if width not in _SUPPORTED_WIDTHS:
+            raise ValueError(f"unsupported packed-integer width {width}")
+        payload_size = count * width
+        end = header_size + payload_size
+        if len(raw) < end:
+            raise ValueError("truncated packed-integer payload")
+        return cls(data=raw[header_size:end], count=count, width=width), end
+
+    def unpack(self) -> np.ndarray:
+        """Decode back to a ``numpy.ndarray`` of dtype ``int64``."""
+        return unpack_integers(self)
+
+
+def pack_integers(values: np.ndarray | list[int]) -> PackedIntArray:
+    """Pack non-negative integers into the smallest supported byte width."""
+    arr = np.asarray(values, dtype=np.int64).ravel()
+    if arr.size and arr.min() < 0:
+        raise ValueError("bit packing requires non-negative integers")
+    max_value = int(arr.max()) if arr.size else 0
+    width = bytes_per_integer(max_value)
+    if width == 3:
+        # Pack as uint32 then drop every fourth (most significant) byte.
+        as32 = arr.astype("<u4").view(np.uint8).reshape(-1, 4)
+        payload = np.ascontiguousarray(as32[:, :3]).tobytes()
+    else:
+        dtype = {1: "<u1", 2: "<u2", 4: "<u4"}[width]
+        payload = arr.astype(dtype).tobytes()
+    return PackedIntArray(data=payload, count=int(arr.size), width=width)
+
+
+def unpack_integers(packed: PackedIntArray) -> np.ndarray:
+    """Inverse of :func:`pack_integers`."""
+    if packed.count == 0:
+        return np.zeros(0, dtype=np.int64)
+    if packed.width == 3:
+        # Re-expand three-byte integers into uint32 with a zero leading byte,
+        # mirroring the "copy into uint32 and mask" trick from the paper.
+        tri = np.frombuffer(packed.data, dtype=np.uint8).reshape(packed.count, 3)
+        quad = np.zeros((packed.count, 4), dtype=np.uint8)
+        quad[:, :3] = tri
+        return quad.view("<u4").ravel().astype(np.int64)
+    dtype = {1: "<u1", 2: "<u2", 4: "<u4"}[packed.width]
+    return np.frombuffer(packed.data, dtype=dtype).astype(np.int64)

@@ -1,0 +1,59 @@
+"""Variable-length integer (varint) codec.
+
+The paper mentions Varint as a more advanced alternative to fixed-width bit
+packing ("future work", Section 3.2).  We provide it as an optional physical
+codec so the ablation benches can compare the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def encode_varints(values: np.ndarray | list[int]) -> bytes:
+    """Encode non-negative integers as LEB128-style varints."""
+    arr = np.asarray(values, dtype=np.int64).ravel()
+    if arr.size and arr.min() < 0:
+        raise ValueError("varint encoding requires non-negative integers")
+    out = bytearray()
+    for value in arr.tolist():
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def decode_varints(raw: bytes, count: int | None = None) -> np.ndarray:
+    """Decode varints from ``raw``.
+
+    Parameters
+    ----------
+    raw:
+        Byte string produced by :func:`encode_varints`.
+    count:
+        If given, stop after decoding this many integers and ignore the rest;
+        otherwise decode the whole buffer.
+    """
+    values: list[int] = []
+    current = 0
+    shift = 0
+    for byte in raw:
+        current |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+        else:
+            values.append(current)
+            current = 0
+            shift = 0
+            if count is not None and len(values) == count:
+                break
+    if shift != 0:
+        raise ValueError("truncated varint stream")
+    if count is not None and len(values) < count:
+        raise ValueError(f"expected {count} varints, decoded only {len(values)}")
+    return np.asarray(values, dtype=np.int64)

@@ -1,0 +1,128 @@
+"""Common interface for compressed mini-batch matrices.
+
+The MGD trainer and the benchmark harness only talk to this interface, so
+adding a scheme means implementing one class and registering it in
+:mod:`repro.compression.registry`.
+
+The interface mirrors how the paper's Section 4 classifies operations:
+
+* ``matvec`` / ``matmat`` — right multiplication (``A @ v``, ``A @ M``),
+* ``rmatvec`` / ``rmatmat`` — left multiplication (``v @ A``, ``M @ A``),
+* ``scale`` — sparse-safe element-wise scaling,
+* ``to_dense`` — full decoding (what the sparse-unsafe ops need).
+
+Schemes that cannot operate directly on compressed data (the general-purpose
+byte compressors) implement the operations by decompressing first, which is
+exactly the behaviour whose cost the paper's experiments expose.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class CompressedMatrix(abc.ABC):
+    """A compressed representation of one dense mini-batch matrix."""
+
+    #: Scheme name used in benchmark tables (e.g. ``"TOC"``, ``"CSR"``).
+    scheme_name: str = "?"
+
+    #: Whether matrix operations run directly on the compressed form
+    #: (False means every operation pays a full decompression first).
+    supports_direct_ops: bool = True
+
+    def __init__(self, shape: tuple[int, int]):
+        self._shape = (int(shape[0]), int(shape[1]))
+
+    # -- shape & size --------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def n_rows(self) -> int:
+        return self._shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self._shape[1]
+
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Compressed size in bytes (the numerator of compression ratios)."""
+
+    def compression_ratio(self) -> float:
+        """Dense (DEN) size divided by this scheme's compressed size."""
+        dense_bytes = self.n_rows * self.n_cols * 8
+        return dense_bytes / max(self.nbytes, 1)
+
+    # -- matrix operations ---------------------------------------------------
+
+    @abc.abstractmethod
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        """Return ``A @ v``."""
+
+    @abc.abstractmethod
+    def rmatvec(self, vector: np.ndarray) -> np.ndarray:
+        """Return ``v @ A``."""
+
+    def matmat(self, matrix: np.ndarray) -> np.ndarray:
+        """Return ``A @ M`` (default: column-by-column matvec)."""
+        m = np.asarray(matrix, dtype=np.float64)
+        return np.column_stack([self.matvec(m[:, j]) for j in range(m.shape[1])])
+
+    def rmatmat(self, matrix: np.ndarray) -> np.ndarray:
+        """Return ``M @ A`` (default: row-by-row rmatvec)."""
+        m = np.asarray(matrix, dtype=np.float64)
+        return np.vstack([self.rmatvec(m[i, :]) for i in range(m.shape[0])])
+
+    @abc.abstractmethod
+    def scale(self, scalar: float) -> "CompressedMatrix":
+        """Return a compressed representation of ``A * c``."""
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Fully decode to a dense matrix."""
+
+    # -- serialisation --------------------------------------------------------
+
+    @abc.abstractmethod
+    def to_bytes(self) -> bytes:
+        """Serialise the compressed batch (what the storage layer writes)."""
+
+    # -- helpers --------------------------------------------------------------
+
+    def _check_matvec_input(self, vector: np.ndarray) -> np.ndarray:
+        v = np.asarray(vector, dtype=np.float64).ravel()
+        if v.size != self.n_cols:
+            raise ValueError(f"vector has length {v.size}, expected {self.n_cols}")
+        return v
+
+    def _check_rmatvec_input(self, vector: np.ndarray) -> np.ndarray:
+        v = np.asarray(vector, dtype=np.float64).ravel()
+        if v.size != self.n_rows:
+            raise ValueError(f"vector has length {v.size}, expected {self.n_rows}")
+        return v
+
+
+class CompressionScheme(abc.ABC):
+    """Factory turning dense mini-batches into :class:`CompressedMatrix`."""
+
+    #: Scheme name used throughout benches and the registry.
+    name: str = "?"
+
+    @abc.abstractmethod
+    def compress(self, matrix: np.ndarray) -> CompressedMatrix:
+        """Compress one dense mini-batch."""
+
+    @abc.abstractmethod
+    def decompress_bytes(self, raw: bytes) -> CompressedMatrix:
+        """Rebuild a compressed batch from its serialised form."""
+
+    def compressed_size(self, matrix: np.ndarray) -> int:
+        """Convenience: compressed size of ``matrix`` in bytes."""
+        return self.compress(matrix).nbytes

@@ -1,0 +1,132 @@
+"""CVI (CSR-VI) — compressed sparse row with value indexing.
+
+The CSR data array is dictionary-encoded: the distinct non-zero values live
+in a small dictionary and each stored cell keeps only a bit-packed index into
+it.  Matrix operations run directly on the compressed representation by
+looking values up through the dictionary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.bitpack.bitpacking import PackedIntArray, pack_integers
+from repro.bitpack.value_index import ValueIndex, build_value_index
+from repro.compression.base import CompressedMatrix, CompressionScheme
+
+_HEADER_DTYPE = np.dtype("<u8")
+
+
+class CVIMatrix(CompressedMatrix):
+    """CSR structure with a value-indexed data array."""
+
+    scheme_name = "CVI"
+    supports_direct_ops = True
+
+    def __init__(self, matrix: np.ndarray | sp.csr_matrix):
+        if sp.issparse(matrix):
+            csr = matrix.tocsr().astype(np.float64)
+        else:
+            csr = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+        csr.eliminate_zeros()
+        super().__init__(csr.shape)
+        self._indptr = csr.indptr.astype(np.int64)
+        self._indices = csr.indices.astype(np.int64)
+        self._values = build_value_index(csr.data)
+
+    @property
+    def nbytes(self) -> int:
+        packed_cols = pack_integers(self._indices)
+        packed_offsets = pack_integers(self._indptr)
+        return int(packed_cols.nbytes + packed_offsets.nbytes + self._values.nbytes)
+
+    @property
+    def nnz(self) -> int:
+        return int(self._indices.size)
+
+    def _to_scipy(self) -> sp.csr_matrix:
+        data = self._values.decode()
+        return sp.csr_matrix((data, self._indices, self._indptr), shape=self.shape)
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        v = self._check_matvec_input(vector)
+        # Direct execution: gather dictionary values per stored cell; the
+        # dictionary lookup replaces the dense data array of plain CSR.
+        data = self._values.dictionary[self._values.codes]
+        contrib = data * v[self._indices]
+        result = np.zeros(self.n_rows, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self._indptr))
+        np.add.at(result, row_ids, contrib)
+        return result
+
+    def rmatvec(self, vector: np.ndarray) -> np.ndarray:
+        v = self._check_rmatvec_input(vector)
+        data = self._values.dictionary[self._values.codes]
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self._indptr))
+        contrib = data * v[row_ids]
+        result = np.zeros(self.n_cols, dtype=np.float64)
+        np.add.at(result, self._indices, contrib)
+        return result
+
+    def matmat(self, matrix: np.ndarray) -> np.ndarray:
+        return self._to_scipy() @ np.asarray(matrix, dtype=np.float64)
+
+    def rmatmat(self, matrix: np.ndarray) -> np.ndarray:
+        return np.asarray(matrix, dtype=np.float64) @ self._to_scipy()
+
+    def scale(self, scalar: float) -> "CVIMatrix":
+        # Sparse-safe: only the dictionary needs rescaling.
+        scaled = CVIMatrix.__new__(CVIMatrix)
+        CompressedMatrix.__init__(scaled, self.shape)
+        scaled._indptr = self._indptr
+        scaled._indices = self._indices
+        scaled._values = ValueIndex(
+            dictionary=self._values.dictionary * float(scalar), codes=self._values.codes
+        )
+        return scaled
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self._to_scipy().todense(), dtype=np.float64)
+
+    def to_bytes(self) -> bytes:
+        header = np.array(
+            [self.n_rows, self.n_cols, self.nnz], dtype=_HEADER_DTYPE
+        ).tobytes()
+        return (
+            header
+            + pack_integers(self._indptr).to_bytes()
+            + pack_integers(self._indices).to_bytes()
+            + self._values.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "CVIMatrix":
+        header_size = 3 * _HEADER_DTYPE.itemsize
+        rows, cols, _nnz = (
+            int(x) for x in np.frombuffer(raw[:header_size], dtype=_HEADER_DTYPE)
+        )
+        offset = header_size
+        indptr, consumed = PackedIntArray.from_bytes(raw[offset:])
+        offset += consumed
+        indices, consumed = PackedIntArray.from_bytes(raw[offset:])
+        offset += consumed
+        values, _ = ValueIndex.from_bytes(raw[offset:])
+        instance = cls.__new__(cls)
+        CompressedMatrix.__init__(instance, (rows, cols))
+        instance._indptr = indptr.unpack()
+        instance._indices = indices.unpack()
+        instance._values = values
+        return instance
+
+
+class CVIScheme(CompressionScheme):
+    """Factory for :class:`CVIMatrix`."""
+
+    name = "CVI"
+
+    def compress(self, matrix: np.ndarray) -> CVIMatrix:
+        return CVIMatrix(matrix)
+
+    def decompress_bytes(self, raw: bytes) -> CVIMatrix:
+        return CVIMatrix.from_bytes(raw)

@@ -1,0 +1,72 @@
+"""DEN — the dense baseline format.
+
+Row-major IEEE-754 doubles, the uncompressed reference against which every
+compression ratio in the paper is computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedMatrix, CompressionScheme
+
+_HEADER_DTYPE = np.dtype("<u8")
+
+
+class DenseMatrix(CompressedMatrix):
+    """A mini-batch stored as a plain dense float64 matrix."""
+
+    scheme_name = "DEN"
+    supports_direct_ops = True
+
+    def __init__(self, matrix: np.ndarray):
+        dense = np.ascontiguousarray(np.asarray(matrix, dtype=np.float64))
+        if dense.ndim != 2:
+            raise ValueError("DenseMatrix expects a 2-D matrix")
+        super().__init__(dense.shape)
+        self._data = dense
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._data.nbytes)
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        return self._data @ self._check_matvec_input(vector)
+
+    def rmatvec(self, vector: np.ndarray) -> np.ndarray:
+        return self._check_rmatvec_input(vector) @ self._data
+
+    def matmat(self, matrix: np.ndarray) -> np.ndarray:
+        return self._data @ np.asarray(matrix, dtype=np.float64)
+
+    def rmatmat(self, matrix: np.ndarray) -> np.ndarray:
+        return np.asarray(matrix, dtype=np.float64) @ self._data
+
+    def scale(self, scalar: float) -> "DenseMatrix":
+        return DenseMatrix(self._data * float(scalar))
+
+    def to_dense(self) -> np.ndarray:
+        return self._data.copy()
+
+    def to_bytes(self) -> bytes:
+        header = np.array(self.shape, dtype=_HEADER_DTYPE).tobytes()
+        return header + self._data.tobytes()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DenseMatrix":
+        header_size = 2 * _HEADER_DTYPE.itemsize
+        rows, cols = (int(x) for x in np.frombuffer(raw[:header_size], dtype=_HEADER_DTYPE))
+        data = np.frombuffer(raw[header_size:], dtype=np.float64, count=rows * cols)
+        return cls(data.reshape(rows, cols).copy())
+
+
+class DenseScheme(CompressionScheme):
+    """Factory for :class:`DenseMatrix`."""
+
+    name = "DEN"
+
+    def compress(self, matrix: np.ndarray) -> DenseMatrix:
+        return DenseMatrix(matrix)
+
+    def decompress_bytes(self, raw: bytes) -> DenseMatrix:
+        return DenseMatrix.from_bytes(raw)

@@ -1,0 +1,99 @@
+"""DVI — dense layout with value indexing.
+
+Every cell of the dense matrix (zeros included) is replaced by a bit-packed
+index into the dictionary of distinct values.  DVI keeps the dense row-major
+structure, so operations stream through the codes; it shines when the value
+domain is tiny (e.g. heavily quantised features) and the matrix is not
+sparse enough for CSR to pay off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitpack.value_index import ValueIndex, build_value_index
+from repro.compression.base import CompressedMatrix, CompressionScheme
+
+_HEADER_DTYPE = np.dtype("<u8")
+
+
+class DVIMatrix(CompressedMatrix):
+    """Dense matrix with dictionary-encoded cells."""
+
+    scheme_name = "DVI"
+    supports_direct_ops = True
+
+    def __init__(self, matrix: np.ndarray):
+        dense = np.asarray(matrix, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("DVIMatrix expects a 2-D matrix")
+        super().__init__(dense.shape)
+        self._values = build_value_index(dense.ravel())
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._values.nbytes)
+
+    @property
+    def n_distinct(self) -> int:
+        """Number of distinct cell values (the dictionary size)."""
+        return int(self._values.dictionary.size)
+
+    def _codes_matrix(self) -> np.ndarray:
+        return self._values.codes.reshape(self.shape)
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        v = self._check_matvec_input(vector)
+        # Direct execution on codes: for each row, sum dictionary[code] * v[col].
+        data = self._values.dictionary[self._codes_matrix()]
+        return data @ v
+
+    def rmatvec(self, vector: np.ndarray) -> np.ndarray:
+        v = self._check_rmatvec_input(vector)
+        data = self._values.dictionary[self._codes_matrix()]
+        return v @ data
+
+    def matmat(self, matrix: np.ndarray) -> np.ndarray:
+        data = self._values.dictionary[self._codes_matrix()]
+        return data @ np.asarray(matrix, dtype=np.float64)
+
+    def rmatmat(self, matrix: np.ndarray) -> np.ndarray:
+        data = self._values.dictionary[self._codes_matrix()]
+        return np.asarray(matrix, dtype=np.float64) @ data
+
+    def scale(self, scalar: float) -> "DVIMatrix":
+        scaled = DVIMatrix.__new__(DVIMatrix)
+        CompressedMatrix.__init__(scaled, self.shape)
+        scaled._values = ValueIndex(
+            dictionary=self._values.dictionary * float(scalar), codes=self._values.codes
+        )
+        return scaled
+
+    def to_dense(self) -> np.ndarray:
+        return self._values.decode().reshape(self.shape)
+
+    def to_bytes(self) -> bytes:
+        header = np.array(self.shape, dtype=_HEADER_DTYPE).tobytes()
+        return header + self._values.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DVIMatrix":
+        header_size = 2 * _HEADER_DTYPE.itemsize
+        rows, cols = (int(x) for x in np.frombuffer(raw[:header_size], dtype=_HEADER_DTYPE))
+        values, _ = ValueIndex.from_bytes(raw[header_size:])
+        instance = cls.__new__(cls)
+        CompressedMatrix.__init__(instance, (rows, cols))
+        instance._values = values
+        return instance
+
+
+class DVIScheme(CompressionScheme):
+    """Factory for :class:`DVIMatrix`."""
+
+    name = "DVI"
+
+    def compress(self, matrix: np.ndarray) -> DVIMatrix:
+        return DVIMatrix(matrix)
+
+    def decompress_bytes(self, raw: bytes) -> DVIMatrix:
+        return DVIMatrix.from_bytes(raw)

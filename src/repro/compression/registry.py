@@ -1,0 +1,58 @@
+"""Registry mapping scheme names to factories.
+
+The benchmark harness, the examples, and the storage layer all look up
+schemes by the names the paper uses in its tables and figures:
+``DEN``, ``CSR``, ``CVI``, ``DVI``, ``CLA``, ``Snappy``, ``Gzip``, ``TOC``,
+plus the ablation variants ``TOC_SPARSE`` and ``TOC_SPARSE_AND_LOGICAL``.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import CompressionScheme
+from repro.compression.byteblock import GzipScheme, SnappyLikeScheme
+from repro.compression.cla import CLAScheme
+from repro.compression.csr import CSRScheme
+from repro.compression.cvi import CVIScheme
+from repro.compression.dense import DenseScheme
+from repro.compression.dvi import DVIScheme
+from repro.compression.toc_scheme import TOCScheme
+from repro.core.toc import TOCVariant
+
+_FACTORIES: dict[str, type | object] = {
+    "DEN": DenseScheme,
+    "CSR": CSRScheme,
+    "CVI": CVIScheme,
+    "DVI": DVIScheme,
+    "CLA": CLAScheme,
+    "Snappy": SnappyLikeScheme,
+    "Gzip": GzipScheme,
+}
+
+
+def available_schemes(include_ablations: bool = False) -> list[str]:
+    """Names of all registered schemes, in the order the paper's figures use."""
+    names = ["DEN", "CSR", "CVI", "DVI", "CLA", "Snappy", "Gzip", "TOC"]
+    if include_ablations:
+        names += ["TOC_SPARSE", "TOC_SPARSE_AND_LOGICAL"]
+    return names
+
+
+def get_scheme(name: str) -> CompressionScheme:
+    """Instantiate a compression scheme by its paper name.
+
+    Raises ``KeyError`` with the list of valid names on an unknown scheme.
+    """
+    if name == "TOC" or name == "TOC_FULL":
+        return TOCScheme(TOCVariant.FULL)
+    if name == "TOC_SPARSE":
+        return TOCScheme(TOCVariant.SPARSE)
+    if name == "TOC_SPARSE_AND_LOGICAL":
+        return TOCScheme(TOCVariant.SPARSE_AND_LOGICAL)
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compression scheme {name!r}; valid names: "
+            f"{available_schemes(include_ablations=True)}"
+        ) from None
+    return factory()

@@ -1,0 +1,76 @@
+"""Scheme selection from a mini-batch sample.
+
+Section 5.1 of the paper ends with a practical recommendation: "one can
+simply test TOC on a mini-batch sample and figure out if TOC is suitable for
+the dataset".  This module turns that advice into a utility: measure every
+registered scheme on a sample batch and recommend one, weighing compression
+ratio against whether matrix operations can run without decompression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.registry import available_schemes, get_scheme
+
+
+@dataclass(frozen=True)
+class SchemeReport:
+    """Measured behaviour of one scheme on the sample batch."""
+
+    name: str
+    compression_ratio: float
+    supports_direct_ops: bool
+
+    @property
+    def score(self) -> float:
+        """Ranking score: ratio, discounted when every op must decompress.
+
+        The discount reflects the paper's Figure 8: byte-block schemes pay a
+        full inflate on every matrix operation, so their ratio advantage has
+        to be large before they win end-to-end.
+        """
+        penalty = 1.0 if self.supports_direct_ops else 0.25
+        return self.compression_ratio * penalty
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's output: a ranked list plus the chosen scheme."""
+
+    sample_shape: tuple[int, int]
+    reports: tuple[SchemeReport, ...]
+
+    @property
+    def best(self) -> SchemeReport:
+        return self.reports[0]
+
+    def ranked_names(self) -> list[str]:
+        return [report.name for report in self.reports]
+
+
+def recommend_scheme(sample_batch: np.ndarray, schemes: list[str] | None = None) -> Recommendation:
+    """Measure ``schemes`` (default: all registered) on a sample mini-batch.
+
+    Returns a :class:`Recommendation` whose reports are sorted best-first.
+    The sample should be a representative mini-batch (a few hundred rows);
+    compression behaviour is stable across batches drawn from the same data.
+    """
+    batch = np.asarray(sample_batch, dtype=np.float64)
+    if batch.ndim != 2 or batch.size == 0:
+        raise ValueError("the sample batch must be a non-empty 2-D matrix")
+    names = list(schemes) if schemes is not None else available_schemes()
+    reports = []
+    for name in names:
+        compressed = get_scheme(name).compress(batch)
+        reports.append(
+            SchemeReport(
+                name=name,
+                compression_ratio=compressed.compression_ratio(),
+                supports_direct_ops=compressed.supports_direct_ops,
+            )
+        )
+    reports.sort(key=lambda report: report.score, reverse=True)
+    return Recommendation(sample_shape=batch.shape, reports=tuple(reports))

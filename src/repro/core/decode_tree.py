@@ -1,0 +1,217 @@
+"""The decoding prefix tree ``C'`` (Algorithm 2 of the paper).
+
+``C'`` is a simplified variant of the encoding tree ``C``: every node keeps
+its key and the index of its *parent*, but not of its children.  It can be
+rebuilt from the logical-encoding outputs ``I`` and ``D`` alone by replaying
+the same node-creation order that Algorithm 1 used, which is what makes it
+unnecessary to ship the full tree with the compressed batch.
+
+The tree is stored in struct-of-arrays form (parallel NumPy arrays indexed
+by node id) so the compressed matrix kernels in :mod:`repro.core.ops` can
+scan it without Python-object overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.logical import LogicalEncoding
+
+
+@dataclass(frozen=True)
+class DecodeTree:
+    """Struct-of-arrays decoding tree.
+
+    Index 0 is the root and carries no key (its entries are zero-filled).
+    For node ``i >= 1``:
+
+    * ``key_columns[i]`` / ``key_values[i]`` — the pair stored at the node,
+    * ``parents[i]`` — the parent node index,
+    * ``first_columns[i]`` / ``first_values[i]`` — the first pair of the
+      sequence the node represents (the ``F`` array of Algorithm 2),
+    * ``depths[i]`` — length of that sequence.
+
+    ``level_order`` / ``level_offsets`` group the non-root nodes by depth
+    (``level_order[level_offsets[d-1]:level_offsets[d]]`` are the nodes at
+    depth ``d``).  The compressed kernels use them to evaluate the
+    parent-recurrences one level at a time with vectorised NumPy operations
+    instead of a per-node Python loop.
+    """
+
+    key_columns: np.ndarray
+    key_values: np.ndarray
+    parents: np.ndarray
+    first_columns: np.ndarray
+    first_values: np.ndarray
+    depths: np.ndarray
+    level_order: np.ndarray | None = None
+    level_offsets: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.level_order is None or self.level_offsets is None:
+            order, offsets = _group_by_depth(self.depths)
+            object.__setattr__(self, "level_order", order)
+            object.__setattr__(self, "level_offsets", offsets)
+
+    def __len__(self) -> int:
+        return int(self.key_columns.size)
+
+    @property
+    def max_depth(self) -> int:
+        """Length of the longest sequence stored in the tree."""
+        return int(self.level_offsets.size - 1)
+
+    def iter_levels(self, reverse: bool = False):
+        """Yield the node-index array of each depth level (1..max_depth)."""
+        depths = range(self.max_depth, 0, -1) if reverse else range(1, self.max_depth + 1)
+        for depth in depths:
+            yield self.level_order[self.level_offsets[depth - 1] : self.level_offsets[depth]]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes including the root."""
+        return len(self)
+
+    def sequence(self, index: int) -> tuple[list[int], list[float]]:
+        """Return the pair sequence represented by node ``index`` (root→node)."""
+        cols: list[int] = []
+        vals: list[float] = []
+        node = int(index)
+        while node != 0:
+            cols.append(int(self.key_columns[node]))
+            vals.append(float(self.key_values[node]))
+            node = int(self.parents[node])
+        cols.reverse()
+        vals.reverse()
+        return cols, vals
+
+    def validate(self) -> None:
+        """Check structural invariants (parents precede children, root fixed)."""
+        if self.parents[0] != 0:
+            raise ValueError("the root must be its own parent")
+        nodes = np.arange(1, len(self))
+        if np.any(self.parents[1:] >= nodes):
+            raise ValueError("every node's parent must have a smaller index")
+        if np.any(self.parents < 0):
+            raise ValueError("parent indexes must be non-negative")
+
+
+def build_decode_tree(encoding: LogicalEncoding) -> DecodeTree:
+    """Rebuild ``C'`` from ``I`` and ``D`` (Algorithm 2).
+
+    Phase I seeds the tree with the first-layer pairs.  Phase II replays the
+    encoded table: for every code except the last one of each row, a new node
+    is appended whose parent is that code and whose key is the *first* pair of
+    the sequence referenced by the following code — exactly how Algorithm 1
+    grew the tree while encoding.
+
+    The replay is evaluated with vectorised NumPy throughout: node creation
+    order is a pure function of the code positions, and the two per-node
+    recurrences (the ``F`` array of first pairs and the node depths) are
+    resolved with pointer doubling over the parent array, which needs only
+    ``O(log max_depth)`` vectorised passes instead of a per-code Python loop.
+    """
+    n_first = encoding.n_first_layer
+    n_nodes = 1 + encoding.n_tree_nodes
+
+    key_columns = np.zeros(n_nodes, dtype=np.int64)
+    key_values = np.zeros(n_nodes, dtype=np.float64)
+    parents = np.zeros(n_nodes, dtype=np.int64)
+    first_columns = np.zeros(n_nodes, dtype=np.int64)
+    first_values = np.zeros(n_nodes, dtype=np.float64)
+
+    # Phase I: first-layer nodes 1..n_first.
+    key_columns[1 : n_first + 1] = encoding.first_layer_columns
+    key_values[1 : n_first + 1] = encoding.first_layer_values
+    first_columns[1 : n_first + 1] = encoding.first_layer_columns
+    first_values[1 : n_first + 1] = encoding.first_layer_values
+
+    # Phase II: replay D.  A node is created at every code position except
+    # the last position of each (non-empty) row, in scan order.
+    codes = encoding.codes
+    row_offsets = encoding.row_offsets
+    if codes.size:
+        lengths = np.diff(row_offsets)
+        create_mask = np.ones(codes.size, dtype=bool)
+        last_positions = row_offsets[1:][lengths > 0] - 1
+        create_mask[last_positions] = False
+        creating_positions = np.nonzero(create_mask)[0]
+
+        parent_codes = codes[creating_positions]
+        following_codes = codes[creating_positions + 1]
+        new_ids = np.arange(n_first + 1, n_first + 1 + creating_positions.size, dtype=np.int64)
+        if new_ids.size and new_ids[-1] != n_nodes - 1:
+            raise AssertionError(
+                f"decode-tree reconstruction produced {new_ids[-1]} nodes, expected {n_nodes - 1}"
+            )
+        parents[new_ids] = parent_codes
+
+        # Resolve each node's depth-1 ancestor by pointer doubling: first-layer
+        # nodes point at themselves, new nodes start at their parent.
+        ancestors = np.arange(n_nodes, dtype=np.int64)
+        ancestors[new_ids] = parent_codes
+        while np.any(ancestors > n_first):
+            ancestors = ancestors[ancestors]
+
+        first_columns[1:] = encoding.first_layer_columns[ancestors[1:] - 1]
+        first_values[1:] = encoding.first_layer_values[ancestors[1:] - 1]
+        # A node's key is the first pair of the sequence referenced by the
+        # *following* code (which may be the node itself — the LZW corner
+        # case — handled naturally because ancestors are already resolved).
+        key_columns[new_ids] = first_columns[following_codes]
+        key_values[new_ids] = first_values[following_codes]
+
+    depths = _depths_from_parents(parents)
+
+    level_order, level_offsets = _group_by_depth(depths)
+    tree = DecodeTree(
+        key_columns=key_columns,
+        key_values=key_values,
+        parents=parents,
+        first_columns=first_columns,
+        first_values=first_values,
+        depths=depths,
+        level_order=level_order,
+        level_offsets=level_offsets,
+    )
+    tree.validate()
+    return tree
+
+
+def _depths_from_parents(parents: np.ndarray) -> np.ndarray:
+    """Depth of every node (root = 0) by walking all nodes towards the root.
+
+    All nodes advance one parent step per iteration, so the loop runs
+    ``max_depth`` times with fully vectorised body — cheap because sequence
+    lengths (tree depths) are small even for large batches.
+    """
+    n_nodes = parents.size
+    depths = np.zeros(n_nodes, dtype=np.int64)
+    if n_nodes <= 1:
+        return depths
+    cursor = parents.copy()
+    cursor[0] = 0
+    active = np.arange(1, n_nodes, dtype=np.int64)
+    while active.size:
+        depths[active] += 1
+        cursor_active = cursor[active]
+        still_walking = cursor_active != 0
+        active = active[still_walking]
+        cursor[active] = parents[cursor[active]]
+    return depths
+
+
+def _group_by_depth(depths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return non-root node indexes sorted by depth plus per-depth offsets."""
+    non_root = np.arange(1, depths.size, dtype=np.int64)
+    if non_root.size == 0:
+        return non_root, np.zeros(1, dtype=np.int64)
+    node_depths = depths[non_root]
+    order = non_root[np.argsort(node_depths, kind="stable")]
+    max_depth = int(node_depths.max())
+    counts = np.bincount(node_depths, minlength=max_depth + 1)[1:]
+    offsets = np.zeros(max_depth + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return order, offsets

@@ -1,0 +1,328 @@
+"""Compressed matrix-operation execution over the TOC output (Section 4).
+
+All kernels work on the logical-encoding outputs ``I`` (first layer) and
+``D`` (encoded table), plus the decoding tree ``C'`` rebuilt by
+:func:`repro.core.decode_tree.build_decode_tree`.  The four classes of
+operations the paper distinguishes are covered:
+
+* sparse-safe element-wise ops (``A .* c``, ``A .^ 2``) — only ``I`` is
+  touched (Algorithm 3);
+* right multiplications (``A @ v``, ``A @ M``) — one scan of ``C'`` followed
+  by one scan of ``D`` (Algorithm 4 / 7, Theorems 1 and 3);
+* left multiplications (``v @ A``, ``M @ A``) — one scan of ``D`` followed by
+  a backwards scan of ``C'`` (Algorithm 5 / 8, Theorems 2 and 4);
+* sparse-unsafe element-wise ops (``A .+ c``) — require full decoding
+  (Algorithm 6).
+
+The per-node recurrences (``H[i] = key_i · v + H[parent_i]`` and the reverse
+push-to-parent accumulation) are sequential in the tree order, so they are
+evaluated with Python loops over pre-gathered NumPy arrays; the per-code
+scans of ``D`` are fully vectorised with ``bincount`` / ``add.reduceat``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decode_tree import DecodeTree, build_decode_tree
+from repro.core.logical import LogicalEncoding
+from repro.core.sparse import SparseEncodedTable, sparse_decode
+
+
+def _as_decode_tree(encoding: LogicalEncoding, tree: DecodeTree | None) -> DecodeTree:
+    return tree if tree is not None else build_decode_tree(encoding)
+
+
+def _row_ids(encoding: LogicalEncoding) -> np.ndarray:
+    """Row id of every code in the flattened encoded table ``D``."""
+    return np.repeat(
+        np.arange(encoding.n_rows, dtype=np.int64), np.diff(encoding.row_offsets)
+    )
+
+
+def _scatter_add_rows(target: np.ndarray, indices: np.ndarray, rows: np.ndarray) -> None:
+    """``target[indices[i], :] += rows[i, :]`` with duplicate indices allowed.
+
+    Equivalent to ``np.add.at(target, indices, rows)`` but implemented with a
+    sort + segmented reduction, which is far faster for the sizes the
+    matrix-matrix kernels see (``np.add.at`` falls back to an element-wise
+    inner loop).
+    """
+    if indices.size == 0:
+        return
+    order = np.argsort(indices, kind="stable")
+    sorted_indices = indices[order]
+    sorted_rows = rows[order]
+    boundaries = np.nonzero(np.diff(sorted_indices))[0] + 1
+    starts = np.concatenate([np.zeros(1, dtype=np.int64), boundaries])
+    sums = np.add.reduceat(sorted_rows, starts, axis=0)
+    target[sorted_indices[starts]] += sums
+
+
+# ---------------------------------------------------------------------------
+# Sparse-safe element-wise operations (Algorithm 3)
+# ---------------------------------------------------------------------------
+
+
+def matrix_times_scalar(encoding: LogicalEncoding, scalar: float) -> LogicalEncoding:
+    """``A .* c`` executed by rescaling the first-layer values only."""
+    return LogicalEncoding(
+        first_layer_columns=encoding.first_layer_columns,
+        first_layer_values=encoding.first_layer_values * float(scalar),
+        codes=encoding.codes,
+        row_offsets=encoding.row_offsets,
+        shape=encoding.shape,
+    )
+
+
+def matrix_elementwise_power(encoding: LogicalEncoding, exponent: float) -> LogicalEncoding:
+    """``A .^ p`` (sparse-safe for positive exponents) on the first layer."""
+    if exponent <= 0:
+        raise ValueError("element-wise power is only sparse-safe for positive exponents")
+    return LogicalEncoding(
+        first_layer_columns=encoding.first_layer_columns,
+        first_layer_values=encoding.first_layer_values ** float(exponent),
+        codes=encoding.codes,
+        row_offsets=encoding.row_offsets,
+        shape=encoding.shape,
+    )
+
+
+def matrix_apply_sparse_safe(
+    encoding: LogicalEncoding, func
+) -> LogicalEncoding:
+    """Apply an arbitrary sparse-safe scalar function to every stored value.
+
+    ``func`` must map 0 to 0 for the result to equal the dense computation;
+    that property is the caller's responsibility (it is asserted in tests).
+    """
+    return LogicalEncoding(
+        first_layer_columns=encoding.first_layer_columns,
+        first_layer_values=np.asarray(func(encoding.first_layer_values), dtype=np.float64),
+        codes=encoding.codes,
+        row_offsets=encoding.row_offsets,
+        shape=encoding.shape,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Right multiplication (Theorem 1 / Algorithm 4 and Theorem 3 / Algorithm 7)
+# ---------------------------------------------------------------------------
+
+
+def _node_partial_products(tree: DecodeTree, vector: np.ndarray) -> np.ndarray:
+    """Compute ``H[i] = C'[i].seq · v`` for every node via the parent recurrence.
+
+    The recurrence ``H[i] = key_i · v + H[parent(i)]`` is evaluated one tree
+    level at a time: all parents of depth-``d`` nodes live at depth ``d - 1``,
+    so each level is a fully vectorised gather + add.
+    """
+    keys_dot_v = np.zeros(len(tree), dtype=np.float64)
+    keys_dot_v[1:] = tree.key_values[1:] * vector[tree.key_columns[1:]]
+    h = np.zeros(len(tree), dtype=np.float64)
+    parents = tree.parents
+    for nodes in tree.iter_levels():
+        h[nodes] = keys_dot_v[nodes] + h[parents[nodes]]
+    return h
+
+
+def matrix_times_vector(
+    encoding: LogicalEncoding,
+    vector: np.ndarray,
+    tree: DecodeTree | None = None,
+) -> np.ndarray:
+    """``A @ v`` executed directly on the TOC output (Algorithm 4)."""
+    v = np.asarray(vector, dtype=np.float64).ravel()
+    if v.size != encoding.n_cols:
+        raise ValueError(f"vector has length {v.size}, expected {encoding.n_cols}")
+    ctree = _as_decode_tree(encoding, tree)
+    h = _node_partial_products(ctree, v)
+    per_code = h[encoding.codes]
+    offsets = encoding.row_offsets[:-1]
+    if per_code.size == 0:
+        return np.zeros(encoding.n_rows, dtype=np.float64)
+    # Sum the per-code partials within each row.  add.reduceat needs strictly
+    # valid start offsets; empty rows are handled by masking afterwards.
+    result = np.zeros(encoding.n_rows, dtype=np.float64)
+    lengths = np.diff(encoding.row_offsets)
+    nonempty = lengths > 0
+    if np.any(nonempty):
+        starts = offsets[nonempty]
+        sums = np.add.reduceat(per_code, starts)
+        result[nonempty] = sums
+    return result
+
+
+def matrix_times_matrix(
+    encoding: LogicalEncoding,
+    matrix: np.ndarray,
+    tree: DecodeTree | None = None,
+) -> np.ndarray:
+    """``A @ M`` executed directly on the TOC output (Algorithm 7)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] != encoding.n_cols:
+        raise ValueError(
+            f"matrix has shape {m.shape}, expected ({encoding.n_cols}, k)"
+        )
+    ctree = _as_decode_tree(encoding, tree)
+    # H[i, :] = C'[i].seq @ M via the same parent recurrence, vectorised over
+    # the columns of M and evaluated level by level.
+    keys_dot_m = np.zeros((len(ctree), m.shape[1]), dtype=np.float64)
+    keys_dot_m[1:] = ctree.key_values[1:, None] * m[ctree.key_columns[1:], :]
+    h = np.zeros_like(keys_dot_m)
+    parents = ctree.parents
+    for nodes in ctree.iter_levels():
+        h[nodes] = keys_dot_m[nodes] + h[parents[nodes]]
+    per_code = h[encoding.codes]
+    result = np.zeros((encoding.n_rows, m.shape[1]), dtype=np.float64)
+    if per_code.size:
+        # Codes are already grouped by row, so a segmented reduction over the
+        # row offsets sums each row's partial products in one pass.
+        lengths = np.diff(encoding.row_offsets)
+        nonempty = lengths > 0
+        starts = encoding.row_offsets[:-1][nonempty]
+        result[nonempty] = np.add.reduceat(per_code, starts, axis=0)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Left multiplication (Theorem 2 / Algorithm 5 and Theorem 4 / Algorithm 8)
+# ---------------------------------------------------------------------------
+
+
+def vector_times_matrix(
+    encoding: LogicalEncoding,
+    vector: np.ndarray,
+    tree: DecodeTree | None = None,
+) -> np.ndarray:
+    """``v @ A`` executed directly on the TOC output (Algorithm 5)."""
+    v = np.asarray(vector, dtype=np.float64).ravel()
+    if v.size != encoding.n_rows:
+        raise ValueError(f"vector has length {v.size}, expected {encoding.n_rows}")
+    ctree = _as_decode_tree(encoding, tree)
+    # G(i): total weight of rows referencing node i, computed with one
+    # vectorised scan of D.
+    h = np.zeros(len(ctree), dtype=np.float64)
+    if encoding.codes.size:
+        row_ids = _row_ids(encoding)
+        h += np.bincount(encoding.codes, weights=v[row_ids], minlength=len(ctree))
+    # Backwards scan of C' (deepest level first): emit key * weight, push the
+    # weight to the parent.  Within one level scatter-adds handle siblings
+    # sharing a parent or a column.
+    result = np.zeros(encoding.n_cols, dtype=np.float64)
+    parents = ctree.parents
+    key_cols = ctree.key_columns
+    key_vals = ctree.key_values
+    for nodes in ctree.iter_levels(reverse=True):
+        weights = h[nodes]
+        np.add.at(result, key_cols[nodes], key_vals[nodes] * weights)
+        np.add.at(h, parents[nodes], weights)
+    return result
+
+
+def uncompressed_matrix_times_matrix(
+    encoding: LogicalEncoding,
+    matrix: np.ndarray,
+    tree: DecodeTree | None = None,
+) -> np.ndarray:
+    """``M @ A`` executed directly on the TOC output (Algorithm 8)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2 or m.shape[1] != encoding.n_rows:
+        raise ValueError(
+            f"matrix has shape {m.shape}, expected (k, {encoding.n_rows})"
+        )
+    ctree = _as_decode_tree(encoding, tree)
+    n_out_rows = m.shape[0]
+    # H[i, :] accumulates, for each tree node i, the sum of M[:, row] over the
+    # rows whose encoding references node i (transposed layout as in the paper
+    # so the D scan is a single scatter-add).
+    h = np.zeros((len(ctree), n_out_rows), dtype=np.float64)
+    if encoding.codes.size:
+        row_ids = _row_ids(encoding)
+        _scatter_add_rows(h, encoding.codes, m[:, row_ids].T)
+    # Backwards level-by-level scan of C', accumulating into the transposed
+    # result so the per-level updates are single segmented scatter-adds.
+    result_t = np.zeros((encoding.n_cols, n_out_rows), dtype=np.float64)
+    parents = ctree.parents
+    key_cols = ctree.key_columns
+    key_vals = ctree.key_values
+    for nodes in ctree.iter_levels(reverse=True):
+        weights = h[nodes]
+        _scatter_add_rows(result_t, key_cols[nodes], key_vals[nodes][:, None] * weights)
+        _scatter_add_rows(h, parents[nodes], weights)
+    return result_t.T
+
+
+# ---------------------------------------------------------------------------
+# Sparse-unsafe element-wise operations (Algorithm 6) and full decode
+# ---------------------------------------------------------------------------
+
+
+def decode_to_sparse(
+    encoding: LogicalEncoding, tree: DecodeTree | None = None
+) -> SparseEncodedTable:
+    """Decode the logical encoding back to a sparse-encoded table.
+
+    Linear in the number of output pairs: every code's sequence is written
+    back-to-front by walking up the tree, with all codes advanced in lockstep
+    (one vectorised step per tree level).
+    """
+    ctree = _as_decode_tree(encoding, tree)
+    lengths_per_code = ctree.depths[encoding.codes]
+    total_pairs = int(lengths_per_code.sum())
+    columns = np.zeros(total_pairs, dtype=np.int64)
+    values = np.zeros(total_pairs, dtype=np.float64)
+
+    if encoding.codes.size:
+        ends = np.cumsum(lengths_per_code)
+        current = encoding.codes.copy()
+        positions = ends - 1
+        active = current != 0
+        while np.any(active):
+            idx = positions[active]
+            nodes = current[active]
+            columns[idx] = ctree.key_columns[nodes]
+            values[idx] = ctree.key_values[nodes]
+            current[active] = ctree.parents[nodes]
+            positions[active] -= 1
+            active = current != 0
+
+    # Row offsets in pair space: sum of sequence lengths per row.
+    row_offsets = np.zeros(encoding.n_rows + 1, dtype=np.int64)
+    if encoding.codes.size:
+        row_ids = _row_ids(encoding)
+        pairs_per_row = np.bincount(
+            row_ids, weights=lengths_per_code, minlength=encoding.n_rows
+        ).astype(np.int64)
+        np.cumsum(pairs_per_row, out=row_offsets[1:])
+    return SparseEncodedTable(
+        columns=columns,
+        values=values,
+        row_offsets=row_offsets,
+        shape=encoding.shape,
+    )
+
+
+def decode_to_dense(
+    encoding: LogicalEncoding, tree: DecodeTree | None = None
+) -> np.ndarray:
+    """Fully decode the TOC output to a dense matrix."""
+    return sparse_decode(decode_to_sparse(encoding, tree))
+
+
+def matrix_plus_scalar(
+    encoding: LogicalEncoding, scalar: float, tree: DecodeTree | None = None
+) -> np.ndarray:
+    """``A .+ c`` — sparse-unsafe, so the matrix is decoded first (Algorithm 6)."""
+    return decode_to_dense(encoding, tree) + float(scalar)
+
+
+def matrix_plus_matrix(
+    encoding: LogicalEncoding, other: np.ndarray, tree: DecodeTree | None = None
+) -> np.ndarray:
+    """``A + M`` — sparse-unsafe element-wise addition with a dense matrix."""
+    dense = decode_to_dense(encoding, tree)
+    other = np.asarray(other, dtype=np.float64)
+    if other.shape != dense.shape:
+        raise ValueError(f"shape mismatch: {dense.shape} vs {other.shape}")
+    return dense + other

@@ -1,0 +1,52 @@
+"""Column-index:value pairs — the compression unit of TOC.
+
+A *pair* couples a column index with the non-zero value stored there
+(written ``col:value`` in the paper, e.g. ``1:1.1``).  Sparse encoding turns
+every matrix row into a list of pairs; logical encoding treats each pair as
+an atomic symbol.  We keep pairs in struct-of-arrays form (parallel
+``columns`` / ``values`` NumPy arrays) so downstream kernels stay vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PairArray:
+    """A flat array of column-index:value pairs (struct-of-arrays layout)."""
+
+    columns: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.columns.shape != self.values.shape:
+            raise ValueError(
+                f"columns and values must align: {self.columns.shape} vs {self.values.shape}"
+            )
+        if self.columns.ndim != 1:
+            raise ValueError("PairArray expects one-dimensional arrays")
+
+    def __len__(self) -> int:
+        return int(self.columns.size)
+
+    def __getitem__(self, index: int) -> tuple[int, float]:
+        return int(self.columns[index]), float(self.values[index])
+
+    def as_tuples(self) -> list[tuple[int, float]]:
+        """Return the pairs as a list of ``(column, value)`` tuples."""
+        return list(zip(self.columns.tolist(), self.values.tolist()))
+
+
+def make_pair_array(columns: np.ndarray | list[int], values: np.ndarray | list[float]) -> PairArray:
+    """Build a :class:`PairArray` from column indexes and values."""
+    cols = np.asarray(columns, dtype=np.int64).ravel()
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    return PairArray(columns=cols, values=vals)
+
+
+def pair_key(column: int, value: float) -> tuple[int, float]:
+    """Canonical hashable key for a pair (used by the encoding prefix tree)."""
+    return int(column), float(value)

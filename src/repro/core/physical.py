@@ -1,0 +1,206 @@
+"""Physical encoding of the logical-encoding outputs (Section 3.2).
+
+The arrays making up ``I`` and ``D`` are mostly small non-negative integers,
+so they are bit-packed to their minimal byte width; the (float) values of the
+first layer are dictionary-encoded with value indexing.  The physical layout
+mirrors Figure 3 of the paper:
+
+* ``D``: the concatenated tree-node indexes of all tuples, bit-packed, plus
+  the bit-packed tuple start offsets;
+* ``I``: the bit-packed column indexes, the bit-packed value indexes, and the
+  array of unique values.
+
+An alternative varint layout is provided for the "future work" ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitpack.bitpacking import PackedIntArray, pack_integers
+from repro.bitpack.value_index import ValueIndex, build_value_index
+from repro.bitpack.varint import encode_varints
+from repro.core.logical import LogicalEncoding
+
+_MAGIC = b"TOC1"
+_SHAPE_DTYPE = np.dtype("<u8")
+
+
+@dataclass(frozen=True)
+class PhysicalEncoding:
+    """Physically encoded TOC output (self-describing byte blocks)."""
+
+    first_layer_columns: PackedIntArray
+    first_layer_values: ValueIndex
+    codes: PackedIntArray
+    row_offsets: PackedIntArray
+    shape: tuple[int, int]
+
+    @property
+    def nbytes(self) -> int:
+        """Total compressed size in bytes (what compression ratios measure)."""
+        return (
+            len(_MAGIC)
+            + 2 * _SHAPE_DTYPE.itemsize
+            + self.first_layer_columns.nbytes
+            + self.first_layer_values.nbytes
+            + self.codes.nbytes
+            + self.row_offsets.nbytes
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise to a single byte string."""
+        shape = np.array(self.shape, dtype=_SHAPE_DTYPE).tobytes()
+        return (
+            _MAGIC
+            + shape
+            + self.first_layer_columns.to_bytes()
+            + self.first_layer_values.to_bytes()
+            + self.codes.to_bytes()
+            + self.row_offsets.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "PhysicalEncoding":
+        """Parse a :class:`PhysicalEncoding` from its serialised form."""
+        if raw[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not a TOC physical encoding (bad magic)")
+        offset = len(_MAGIC)
+        shape_arr = np.frombuffer(
+            raw[offset : offset + 2 * _SHAPE_DTYPE.itemsize], dtype=_SHAPE_DTYPE
+        )
+        shape = (int(shape_arr[0]), int(shape_arr[1]))
+        offset += 2 * _SHAPE_DTYPE.itemsize
+        first_cols, consumed = PackedIntArray.from_bytes(raw[offset:])
+        offset += consumed
+        first_vals, consumed = ValueIndex.from_bytes(raw[offset:])
+        offset += consumed
+        codes, consumed = PackedIntArray.from_bytes(raw[offset:])
+        offset += consumed
+        row_offsets, consumed = PackedIntArray.from_bytes(raw[offset:])
+        offset += consumed
+        return cls(
+            first_layer_columns=first_cols,
+            first_layer_values=first_vals,
+            codes=codes,
+            row_offsets=row_offsets,
+            shape=shape,
+        )
+
+
+def physical_encode(encoding: LogicalEncoding) -> PhysicalEncoding:
+    """Encode the logical output with bit packing + value indexing."""
+    return PhysicalEncoding(
+        first_layer_columns=pack_integers(encoding.first_layer_columns),
+        first_layer_values=build_value_index(encoding.first_layer_values),
+        codes=pack_integers(encoding.codes),
+        row_offsets=pack_integers(encoding.row_offsets),
+        shape=encoding.shape,
+    )
+
+
+def physical_decode(physical: PhysicalEncoding) -> LogicalEncoding:
+    """Recover the logical encoding from its physical form."""
+    return LogicalEncoding(
+        first_layer_columns=physical.first_layer_columns.unpack(),
+        first_layer_values=physical.first_layer_values.decode(),
+        codes=physical.codes.unpack(),
+        row_offsets=physical.row_offsets.unpack(),
+        shape=physical.shape,
+    )
+
+
+def logical_nbytes(encoding: LogicalEncoding) -> int:
+    """Size of the logical encoding if stored without physical encoding.
+
+    Used by the ablation experiments (TOC_SPARSE_AND_LOGICAL): column indexes
+    and codes as 4-byte integers, values as 8-byte doubles.
+    """
+    return int(
+        encoding.first_layer_columns.size * 4
+        + encoding.first_layer_values.size * 8
+        + encoding.codes.size * 4
+        + encoding.row_offsets.size * 4
+    )
+
+
+# ---------------------------------------------------------------------------
+# Varint alternative layout (paper future work / ablation)
+# ---------------------------------------------------------------------------
+
+
+def physical_encode_varint(encoding: LogicalEncoding) -> bytes:
+    """Encode the logical output with varints instead of fixed-width packing."""
+    header = encode_varints(
+        np.array(
+            [
+                encoding.shape[0],
+                encoding.shape[1],
+                encoding.first_layer_columns.size,
+                encoding.codes.size,
+            ],
+            dtype=np.int64,
+        )
+    )
+    values = build_value_index(encoding.first_layer_values)
+    body = (
+        encode_varints(encoding.first_layer_columns)
+        + encode_varints(values.codes)
+        + encode_varints(np.array([values.dictionary.size], dtype=np.int64))
+        + values.dictionary.astype("<f8").tobytes()
+        + encode_varints(encoding.codes)
+        + encode_varints(encoding.row_offsets)
+    )
+    return header + body
+
+
+def physical_decode_varint(raw: bytes) -> LogicalEncoding:
+    """Inverse of :func:`physical_encode_varint`."""
+    # Varints are self-delimiting, so decode sequentially tracking offsets.
+    cursor = 0
+
+    def take(count: int) -> np.ndarray:
+        nonlocal cursor
+        values: list[int] = []
+        current = 0
+        shift = 0
+        while len(values) < count:
+            byte = raw[cursor]
+            cursor += 1
+            current |= (byte & 0x7F) << shift
+            if byte & 0x80:
+                shift += 7
+            else:
+                values.append(current)
+                current = 0
+                shift = 0
+        return np.asarray(values, dtype=np.int64)
+
+    n_rows, n_cols, n_first, n_codes = take(4).tolist()
+    first_cols = take(n_first)
+    value_codes = take(n_first)
+    dict_size = int(take(1)[0])
+    dictionary = np.frombuffer(raw[cursor : cursor + dict_size * 8], dtype="<f8").copy()
+    cursor += dict_size * 8
+    first_vals = dictionary[value_codes] if n_first else np.zeros(0, dtype=np.float64)
+    codes = take(n_codes)
+    row_offsets = take(n_rows + 1)
+    return LogicalEncoding(
+        first_layer_columns=first_cols,
+        first_layer_values=first_vals,
+        codes=codes,
+        row_offsets=row_offsets,
+        shape=(n_rows, n_cols),
+    )
+
+
+__all__ = [
+    "PhysicalEncoding",
+    "physical_encode",
+    "physical_decode",
+    "physical_encode_varint",
+    "physical_decode_varint",
+    "logical_nbytes",
+]

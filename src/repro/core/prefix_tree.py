@@ -1,0 +1,93 @@
+"""The encoding prefix tree ``C`` (Section 3.1.1 of the paper).
+
+Every node except the root stores a column-index:value pair as its key and
+represents the sequence of pairs spelled out on the path from the root.
+The tree exposes the two APIs the paper defines:
+
+* ``AddNode(n, k)`` — add a child with key ``k`` under node ``n``; returns
+  the new node's index (indices are assigned sequentially).
+* ``GetIndex(n, k)`` — return the index of the child of ``n`` whose key is
+  ``k``, or ``-1`` if no such child exists.
+
+Child lookup uses a per-node hash map from child key to child index, the
+standard technique the paper cites.
+"""
+
+from __future__ import annotations
+
+from repro.core.pairs import pair_key
+
+ROOT_INDEX = 0
+NOT_FOUND = -1
+
+
+class PrefixTree:
+    """Prefix tree used while encoding (root has index 0 and no key)."""
+
+    def __init__(self) -> None:
+        # Parallel arrays indexed by node index.  Index 0 is the root, which
+        # has no key and is its own parent by convention.
+        self._keys: list[tuple[int, float] | None] = [None]
+        self._parents: list[int] = [ROOT_INDEX]
+        self._children: list[dict[tuple[int, float], int]] = [{}]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add_node(self, parent: int, key: tuple[int, float]) -> int:
+        """Create a child of ``parent`` with ``key``; return its index."""
+        key = pair_key(*key)
+        index = len(self._keys)
+        self._keys.append(key)
+        self._parents.append(parent)
+        self._children.append({})
+        self._children[parent][key] = index
+        return index
+
+    def get_index(self, parent: int, key: tuple[int, float]) -> int:
+        """Return the index of ``parent``'s child keyed by ``key`` or ``-1``."""
+        return self._children[parent].get(pair_key(*key), NOT_FOUND)
+
+    def key(self, index: int) -> tuple[int, float]:
+        """Return the key (column, value) stored at ``index``."""
+        key = self._keys[index]
+        if key is None:
+            raise ValueError("the root node has no key")
+        return key
+
+    def parent(self, index: int) -> int:
+        """Return the parent index of node ``index``."""
+        return self._parents[index]
+
+    def sequence(self, index: int) -> list[tuple[int, float]]:
+        """Return the pair sequence represented by node ``index`` (root→node)."""
+        path: list[tuple[int, float]] = []
+        node = index
+        while node != ROOT_INDEX:
+            path.append(self.key(node))
+            node = self._parents[node]
+        path.reverse()
+        return path
+
+    def first_layer(self) -> list[tuple[int, float]]:
+        """Return the keys of the root's children ordered by node index.
+
+        This is the ``I`` output of the paper's Figure 3: because phase I of
+        Algorithm 1 inserts every unique pair before any deeper node is
+        created, the root's children always occupy indices ``1..len(I)``.
+        """
+        keys: list[tuple[int, float]] = []
+        for index in range(1, len(self._keys)):
+            if self._parents[index] != ROOT_INDEX:
+                break
+            keys.append(self.key(index))
+        return keys
+
+    def depth(self, index: int) -> int:
+        """Length of the sequence represented by node ``index``."""
+        depth = 0
+        node = index
+        while node != ROOT_INDEX:
+            depth += 1
+            node = self._parents[node]
+        return depth

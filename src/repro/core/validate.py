@@ -1,0 +1,72 @@
+"""Structural validation of TOC encodings.
+
+These checks are used by tests and by the failure-injection experiments:
+they verify the invariants that the encoding algorithm guarantees, so that
+corrupted or hand-built encodings are rejected with clear errors instead of
+producing silently wrong arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decode_tree import build_decode_tree
+from repro.core.logical import LogicalEncoding
+from repro.core.sparse import SparseEncodedTable
+
+
+class EncodingError(ValueError):
+    """Raised when an encoded artefact violates a structural invariant."""
+
+
+def validate_sparse(table: SparseEncodedTable) -> None:
+    """Validate a sparse-encoded table beyond the dataclass checks."""
+    offsets = table.row_offsets
+    if np.any(np.diff(offsets) < 0):
+        raise EncodingError("row offsets must be non-decreasing")
+    if table.values.size and np.any(table.values == 0.0):
+        raise EncodingError("sparse encoding must not store zero values")
+    for row in range(table.n_rows):
+        cols, _ = table.row_pairs(row)
+        if cols.size > 1 and np.any(np.diff(cols) <= 0):
+            raise EncodingError(f"row {row} columns are not strictly increasing")
+
+
+def validate_logical(encoding: LogicalEncoding) -> None:
+    """Validate a logical encoding: code ranges, first-layer uniqueness, tree."""
+    n_first = encoding.n_first_layer
+    pairs = set(
+        zip(encoding.first_layer_columns.tolist(), encoding.first_layer_values.tolist())
+    )
+    if len(pairs) != n_first:
+        raise EncodingError("first layer contains duplicate pairs")
+    if encoding.first_layer_values.size and np.any(encoding.first_layer_values == 0.0):
+        raise EncodingError("first layer must not contain zero values")
+    if encoding.first_layer_columns.size and (
+        encoding.first_layer_columns.min() < 0
+        or encoding.first_layer_columns.max() >= encoding.n_cols
+    ):
+        raise EncodingError("first-layer column index out of range")
+    max_node = encoding.n_tree_nodes
+    if encoding.codes.size and encoding.codes.max() > max_node:
+        raise EncodingError(
+            f"code {int(encoding.codes.max())} exceeds the number of tree nodes {max_node}"
+        )
+    # Rebuilding the decode tree runs its own structural validation.
+    tree = build_decode_tree(encoding)
+    tree.validate()
+    # Every decoded row must have strictly increasing column indexes, which is
+    # what "preserving tuple boundaries" means for the downstream kernels.
+    from repro.core.ops import decode_to_sparse
+
+    validate_sparse(decode_to_sparse(encoding, tree))
+
+
+def validate_roundtrip(matrix: np.ndarray) -> None:
+    """Assert that TOC encodes ``matrix`` losslessly (raises otherwise)."""
+    from repro.core.toc import TOCMatrix
+
+    toc = TOCMatrix.encode(matrix)
+    decoded = toc.to_dense()
+    if not np.array_equal(decoded, np.asarray(matrix, dtype=np.float64)):
+        raise EncodingError("TOC round-trip is not lossless for the given matrix")

@@ -1,0 +1,74 @@
+"""Mini-batch splitting and shuffle-once sampling (Section 2.1.3 of the paper).
+
+The paper follows the standard shuffle-once discipline: the dataset is
+shuffled a single time up front, then partitioned into fixed-size
+mini-batches which are compressed once and revisited every epoch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+
+def split_minibatches(
+    features: np.ndarray,
+    labels: np.ndarray | None = None,
+    batch_size: int = 250,
+    shuffle: bool = True,
+    seed: int | None = 0,
+    drop_last: bool = False,
+) -> list[tuple[np.ndarray, np.ndarray | None]]:
+    """Shuffle once and split into mini-batches of ``batch_size`` rows.
+
+    Returns a list of ``(batch_features, batch_labels)`` tuples; the label
+    element is ``None`` when no labels were supplied.  The final partial
+    batch is kept unless ``drop_last`` is set.
+    """
+    x = np.asarray(features, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("features must be a 2-D matrix")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    y = None if labels is None else np.asarray(labels)
+    if y is not None and y.shape[0] != x.shape[0]:
+        raise ValueError("features and labels must have the same number of rows")
+
+    order = np.arange(x.shape[0])
+    if shuffle:
+        rng = np.random.default_rng(seed)
+        rng.shuffle(order)
+
+    batches: list[tuple[np.ndarray, np.ndarray | None]] = []
+    for start in range(0, x.shape[0], batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and idx.size < batch_size:
+            break
+        batch_x = x[idx]
+        batch_y = None if y is None else y[idx]
+        batches.append((batch_x, batch_y))
+    return batches
+
+
+class MiniBatchIterator:
+    """Epoch-level iterator over pre-split (optionally compressed) mini-batches.
+
+    The iterator is intentionally dumb: batches are materialised once (the
+    shuffle-once discipline) and every epoch replays them in the same order,
+    which is what the paper's MGD loop does.
+    """
+
+    def __init__(self, batches: list):
+        if not batches:
+            raise ValueError("MiniBatchIterator needs at least one mini-batch")
+        self._batches = list(batches)
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._batches)
+
+    def __getitem__(self, index: int):
+        return self._batches[index]

@@ -1,0 +1,5 @@
+"""Scheme-agnostic linear-algebra dispatch helpers."""
+
+from repro.linalg.ops import matmat, matvec, rmatmat, rmatvec, scale, to_dense
+
+__all__ = ["matmat", "matvec", "rmatmat", "rmatvec", "scale", "to_dense"]

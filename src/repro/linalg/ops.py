@@ -1,0 +1,66 @@
+"""Free-function dispatch over compressed matrices or plain NumPy arrays.
+
+These helpers let numerical code be written once and run on anything:
+a :class:`repro.compression.base.CompressedMatrix`, a SciPy sparse matrix,
+or a plain ndarray.  They correspond to the four operation classes of
+Section 4 of the paper and are what the benchmark harness times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.compression.base import CompressedMatrix
+
+
+def matvec(matrix, vector: np.ndarray) -> np.ndarray:
+    """``A @ v`` for any supported matrix representation."""
+    if isinstance(matrix, CompressedMatrix):
+        return matrix.matvec(vector)
+    if sp.issparse(matrix):
+        return matrix @ np.asarray(vector, dtype=np.float64)
+    return np.asarray(matrix, dtype=np.float64) @ np.asarray(vector, dtype=np.float64)
+
+
+def rmatvec(matrix, vector: np.ndarray) -> np.ndarray:
+    """``v @ A`` for any supported matrix representation."""
+    if isinstance(matrix, CompressedMatrix):
+        return matrix.rmatvec(vector)
+    if sp.issparse(matrix):
+        return np.asarray(vector, dtype=np.float64) @ matrix
+    return np.asarray(vector, dtype=np.float64) @ np.asarray(matrix, dtype=np.float64)
+
+
+def matmat(matrix, other: np.ndarray) -> np.ndarray:
+    """``A @ M`` for any supported matrix representation."""
+    if isinstance(matrix, CompressedMatrix):
+        return matrix.matmat(other)
+    if sp.issparse(matrix):
+        return matrix @ np.asarray(other, dtype=np.float64)
+    return np.asarray(matrix, dtype=np.float64) @ np.asarray(other, dtype=np.float64)
+
+
+def rmatmat(matrix, other: np.ndarray) -> np.ndarray:
+    """``M @ A`` for any supported matrix representation."""
+    if isinstance(matrix, CompressedMatrix):
+        return matrix.rmatmat(other)
+    if sp.issparse(matrix):
+        return np.asarray(other, dtype=np.float64) @ matrix
+    return np.asarray(other, dtype=np.float64) @ np.asarray(matrix, dtype=np.float64)
+
+
+def scale(matrix, scalar: float):
+    """``A * c`` for any supported matrix representation (sparse-safe)."""
+    if isinstance(matrix, CompressedMatrix):
+        return matrix.scale(scalar)
+    return matrix * float(scalar)
+
+
+def to_dense(matrix) -> np.ndarray:
+    """Fully materialise any supported matrix representation."""
+    if isinstance(matrix, CompressedMatrix):
+        return matrix.to_dense()
+    if sp.issparse(matrix):
+        return np.asarray(matrix.todense(), dtype=np.float64)
+    return np.asarray(matrix, dtype=np.float64)

@@ -1,0 +1,41 @@
+"""MGD training substrate.
+
+Implements the ML workloads of the paper's evaluation — Logistic regression,
+Linear regression, linear SVM, and a feed-forward neural network — trained
+with mini-batch stochastic gradient descent over *compressed* mini-batches.
+All gradient computations are expressed through the four compressed matrix
+operations of Section 4 (``A @ v``, ``v @ A``, ``A @ M``, ``M @ A``), so the
+same model code runs unchanged on every compression scheme.
+"""
+
+from repro.ml.convolution import CompressedConv2d, conv2d_direct, im2col
+from repro.ml.losses import CrossEntropyLoss, HingeLoss, LogisticLoss, SquaredLoss
+from repro.ml.metrics import accuracy, error_rate, log_loss
+from repro.ml.models import (
+    FeedForwardNetwork,
+    LinearRegressionModel,
+    LinearSVMModel,
+    LogisticRegressionModel,
+)
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.optimizer import GradientDescentConfig, MiniBatchGradientDescent
+
+__all__ = [
+    "CompressedConv2d",
+    "CrossEntropyLoss",
+    "FeedForwardNetwork",
+    "GradientDescentConfig",
+    "HingeLoss",
+    "LinearRegressionModel",
+    "LinearSVMModel",
+    "LogisticLoss",
+    "LogisticRegressionModel",
+    "MiniBatchGradientDescent",
+    "OneVsRestClassifier",
+    "SquaredLoss",
+    "accuracy",
+    "conv2d_direct",
+    "error_rate",
+    "im2col",
+    "log_loss",
+]

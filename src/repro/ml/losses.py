@@ -1,0 +1,101 @@
+"""Loss functions used by the paper's workloads and their gradients.
+
+Each loss exposes ``value(scores, targets)`` and ``gradient(scores, targets)``
+where ``scores`` are the raw model outputs for a mini-batch and the gradient
+is taken with respect to the scores.  The chain rule back to the model
+parameters happens in the model classes, which is where the compressed
+``v @ A`` / ``M @ A`` operations enter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_1d(array: np.ndarray) -> np.ndarray:
+    return np.asarray(array, dtype=np.float64).ravel()
+
+
+class SquaredLoss:
+    """Mean squared loss, ``0.5 * (y - s)^2`` — Linear regression."""
+
+    name = "squared"
+
+    def value(self, scores: np.ndarray, targets: np.ndarray) -> float:
+        s, y = _as_1d(scores), _as_1d(targets)
+        return float(0.5 * np.mean((y - s) ** 2))
+
+    def gradient(self, scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        s, y = _as_1d(scores), _as_1d(targets)
+        return (s - y) / s.size
+
+
+class LogisticLoss:
+    """Logistic loss on labels in {0, 1} — Logistic regression."""
+
+    name = "logistic"
+
+    @staticmethod
+    def _sigmoid(scores: np.ndarray) -> np.ndarray:
+        out = np.empty_like(scores)
+        positive = scores >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-scores[positive]))
+        exp_s = np.exp(scores[~positive])
+        out[~positive] = exp_s / (1.0 + exp_s)
+        return out
+
+    def value(self, scores: np.ndarray, targets: np.ndarray) -> float:
+        s, y = _as_1d(scores), _as_1d(targets)
+        # Numerically stable log(1 + exp(-z)) with z = +/- s depending on y.
+        z = np.where(y > 0.5, s, -s)
+        return float(np.mean(np.logaddexp(0.0, -z)))
+
+    def gradient(self, scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        s, y = _as_1d(scores), _as_1d(targets)
+        return (self._sigmoid(s) - y) / s.size
+
+    def predict_proba(self, scores: np.ndarray) -> np.ndarray:
+        """Class-1 probability for raw scores."""
+        return self._sigmoid(_as_1d(scores))
+
+
+class HingeLoss:
+    """Hinge loss on labels in {0, 1} (internally mapped to ±1) — linear SVM."""
+
+    name = "hinge"
+
+    def value(self, scores: np.ndarray, targets: np.ndarray) -> float:
+        s, y = _as_1d(scores), _as_1d(targets)
+        signed = np.where(y > 0.5, 1.0, -1.0)
+        return float(np.mean(np.maximum(0.0, 1.0 - signed * s)))
+
+    def gradient(self, scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        s, y = _as_1d(scores), _as_1d(targets)
+        signed = np.where(y > 0.5, 1.0, -1.0)
+        active = (signed * s) < 1.0
+        return np.where(active, -signed, 0.0) / s.size
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels — neural networks."""
+
+    name = "cross_entropy"
+
+    @staticmethod
+    def _softmax(scores: np.ndarray) -> np.ndarray:
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def value(self, scores: np.ndarray, targets: np.ndarray) -> float:
+        probs = self._softmax(np.asarray(scores, dtype=np.float64))
+        labels = np.asarray(targets, dtype=np.int64).ravel()
+        picked = probs[np.arange(labels.size), labels]
+        return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+    def gradient(self, scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        probs = self._softmax(np.asarray(scores, dtype=np.float64))
+        labels = np.asarray(targets, dtype=np.int64).ravel()
+        grad = probs.copy()
+        grad[np.arange(labels.size), labels] -= 1.0
+        return grad / labels.size

@@ -1,0 +1,29 @@
+"""Bismarck-like in-DB storage substrate and memory-pressure simulation.
+
+The paper's end-to-end experiments hinge on two storage-level effects:
+
+1. **which formats fit in memory** — once compressed mini-batches exceed the
+   buffer budget they spill to disk and every epoch pays IO again
+   (:mod:`repro.storage.buffer_pool`);
+2. **integration into an RDBMS** — compressed batches stored as blobs in a
+   heap table, model state in a shared-memory arena, training driven by a
+   UDF-style epoch runner, all with a small storage fudge factor
+   (:mod:`repro.storage.pages`, :mod:`repro.storage.table`,
+   :mod:`repro.storage.arena`, :mod:`repro.storage.bismarck`).
+"""
+
+from repro.storage.arena import ModelArena
+from repro.storage.bismarck import BismarckSession
+from repro.storage.buffer_pool import BufferPool, BufferPoolStats
+from repro.storage.pages import Page, PAGE_SIZE_BYTES
+from repro.storage.table import BlobTable
+
+__all__ = [
+    "BismarckSession",
+    "BlobTable",
+    "BufferPool",
+    "BufferPoolStats",
+    "ModelArena",
+    "PAGE_SIZE_BYTES",
+    "Page",
+]

@@ -1,0 +1,64 @@
+"""Shared-memory-style model arena.
+
+Bismarck keeps the model being trained in a shared-memory arena that UDF
+invocations read and update in place.  The arena here is a flat float64
+buffer with named segments: models check their parameter vectors in and out
+of it, which is how the Bismarck-style session in
+:mod:`repro.storage.bismarck` shares state across epoch "UDF calls".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ModelArena:
+    """A named-segment arena of float64 parameters."""
+
+    def __init__(self, capacity: int = 1 << 22):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._buffer = np.zeros(capacity, dtype=np.float64)
+        self._segments: dict[str, tuple[int, int]] = {}
+        self._cursor = 0
+
+    @property
+    def capacity(self) -> int:
+        return int(self._buffer.size)
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+    def allocate(self, name: str, size: int) -> None:
+        """Reserve a named segment of ``size`` float64 slots."""
+        if name in self._segments:
+            raise ValueError(f"segment {name!r} already allocated")
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        if self._cursor + size > self._buffer.size:
+            raise MemoryError(
+                f"arena exhausted: need {size} slots, {self._buffer.size - self._cursor} free"
+            )
+        self._segments[name] = (self._cursor, size)
+        self._cursor += size
+
+    def write(self, name: str, values: np.ndarray) -> None:
+        """Write a parameter vector into its segment (allocating on first use)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if name not in self._segments:
+            self.allocate(name, values.size)
+        start, size = self._segments[name]
+        if values.size != size:
+            raise ValueError(f"segment {name!r} holds {size} values, got {values.size}")
+        self._buffer[start : start + size] = values
+
+    def read(self, name: str) -> np.ndarray:
+        """Read a copy of the named segment."""
+        if name not in self._segments:
+            raise KeyError(f"segment {name!r} was never written")
+        start, size = self._segments[name]
+        return self._buffer[start : start + size].copy()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._segments

@@ -1,0 +1,128 @@
+"""A byte-budgeted buffer pool with simulated disk latency.
+
+The paper's headline end-to-end results (Tables 6 and 7, Figures 9–11) are
+driven by a single mechanism: with a 15 GB machine, only the well-compressed
+formats keep every mini-batch in memory; the rest spill and pay disk IO on
+every epoch.  The buffer pool makes that mechanism explicit and measurable:
+
+* it holds at most ``budget_bytes`` of compressed batches;
+* a hit returns the cached bytes instantly;
+* a miss "reads from disk", which costs ``len(bytes) / disk_bandwidth``
+  simulated seconds (never a real sleep — simulated time is accounted
+  separately so the tests stay fast and deterministic).
+
+Eviction is LRU, which against MGD's cyclic access pattern produces the
+worst-case behaviour the paper describes: once the working set exceeds the
+budget, effectively every access misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BufferPoolStats:
+    """Counters accumulated by a :class:`BufferPool`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_read_from_disk: int = 0
+    simulated_io_seconds: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class BufferPool:
+    """LRU buffer pool over serialised mini-batches.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Memory available for cached batches ("RAM size" in the experiments).
+    disk_bandwidth_bytes_per_sec:
+        Simulated sequential-read bandwidth used to convert missed bytes into
+        simulated IO seconds (default 150 MB/s, a typical cloud disk).
+    """
+
+    budget_bytes: int
+    disk_bandwidth_bytes_per_sec: float = 150e6
+    stats: BufferPoolStats = field(default_factory=BufferPoolStats)
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        if self.disk_bandwidth_bytes_per_sec <= 0:
+            raise ValueError("disk_bandwidth_bytes_per_sec must be positive")
+        self._store: dict[int, bytes] = {}
+        self._cache: OrderedDict[int, int] = OrderedDict()  # key -> size
+        self._cached_bytes = 0
+
+    # -- population -----------------------------------------------------------
+
+    def put_on_disk(self, key: int, payload: bytes) -> None:
+        """Register a batch as residing on disk (not yet cached)."""
+        self._store[key] = payload
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._store
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._cached_bytes
+
+    @property
+    def resident_keys(self) -> list[int]:
+        """Keys currently cached in memory (LRU order, oldest first)."""
+        return list(self._cache)
+
+    # -- access ---------------------------------------------------------------
+
+    def read(self, key: int) -> bytes:
+        """Read a batch, going through the cache and charging IO on a miss."""
+        if key not in self._store:
+            raise KeyError(f"batch {key} was never stored")
+        payload = self._store[key]
+        if key in self._cache:
+            self.stats.hits += 1
+            self._cache.move_to_end(key)
+            return payload
+        # Miss: charge simulated disk IO, then admit to the cache.
+        self.stats.misses += 1
+        self.stats.bytes_read_from_disk += len(payload)
+        self.stats.simulated_io_seconds += len(payload) / self.disk_bandwidth_bytes_per_sec
+        self._admit(key, len(payload))
+        return payload
+
+    def _admit(self, key: int, size: int) -> None:
+        if size > self.budget_bytes:
+            # The batch alone exceeds the budget; it can never be cached.
+            return
+        while self._cached_bytes + size > self.budget_bytes:
+            evicted_key, evicted_size = self._cache.popitem(last=False)
+            self._cached_bytes -= evicted_size
+            self.stats.evictions += 1
+            del evicted_key
+        self._cache[key] = size
+        self._cached_bytes += size
+
+    # -- convenience ----------------------------------------------------------
+
+    def fits_entirely(self) -> bool:
+        """Whether all stored batches fit in the budget simultaneously."""
+        return sum(len(p) for p in self._store.values()) <= self.budget_bytes
+
+    def total_stored_bytes(self) -> int:
+        return sum(len(p) for p in self._store.values())
+
+    def reset_stats(self) -> None:
+        self.stats = BufferPoolStats()

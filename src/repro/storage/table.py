@@ -1,0 +1,69 @@
+"""Heap table of compressed mini-batch blobs.
+
+A :class:`BlobTable` stores one row per mini-batch: the batch id, the
+serialised compressed bytes, and the label vector.  Rows are laid out onto
+fixed-size pages (:mod:`repro.storage.pages`) and read back through a
+:class:`repro.storage.buffer_pool.BufferPool`, so the table captures both
+the page-layout fudge factor and the fits-in-memory-or-not behaviour that
+the Bismarck experiments measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressionScheme
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pages import stored_bytes
+
+
+class BlobTable:
+    """A table of compressed mini-batches backed by a buffer pool."""
+
+    def __init__(self, scheme: CompressionScheme, buffer_pool: BufferPool):
+        self.scheme = scheme
+        self.buffer_pool = buffer_pool
+        self._labels: dict[int, np.ndarray] = {}
+        self._blob_sizes: dict[int, int] = {}
+
+    # -- loading ---------------------------------------------------------------
+
+    def load_batches(self, batches: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Compress and store ``(features, labels)`` mini-batches."""
+        for batch_id, (features, labels) in enumerate(batches):
+            compressed = self.scheme.compress(features)
+            payload = compressed.to_bytes()
+            self.buffer_pool.put_on_disk(batch_id, payload)
+            self._labels[batch_id] = np.asarray(labels)
+            self._blob_sizes[batch_id] = len(payload)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    # -- reading ----------------------------------------------------------------
+
+    def read_batch(self, batch_id: int):
+        """Return ``(compressed_matrix, labels)`` going through the buffer pool."""
+        payload = self.buffer_pool.read(batch_id)
+        compressed = self.scheme.decompress_bytes(payload)
+        return compressed, self._labels[batch_id]
+
+    def iter_batches(self):
+        """Iterate over all batches in storage order (one epoch's access pattern)."""
+        for batch_id in range(len(self)):
+            yield self.read_batch(batch_id)
+
+    # -- statistics --------------------------------------------------------------
+
+    def logical_bytes(self) -> int:
+        """Sum of the compressed blob sizes."""
+        return sum(self._blob_sizes.values())
+
+    def physical_bytes(self) -> int:
+        """On-disk size including the page-layout fudge factor."""
+        return stored_bytes([self._blob_sizes[i] for i in range(len(self))])
+
+    def fudge_factor(self) -> float:
+        """Physical over logical size (>= 1.0)."""
+        logical = self.logical_bytes()
+        return self.physical_bytes() / logical if logical else 1.0

@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ascii_plot import render_chart
+
+
+class TestRenderChart:
+    def test_contains_title_and_legend(self):
+        chart = render_chart("Figure 9", [1, 2, 3], {"TOC": [1, 2, 3], "DEN": [3, 2, 1]})
+        assert "Figure 9" in chart
+        assert "o=TOC" in chart and "x=DEN" in chart
+
+    def test_dimensions(self):
+        chart = render_chart("t", [0, 1], {"a": [0, 1]}, width=20, height=5)
+        lines = chart.splitlines()
+        plot_lines = [line for line in lines if line.startswith("|")]
+        assert len(plot_lines) == 5
+        assert all(len(line) == 21 for line in plot_lines)
+
+    def test_extreme_points_land_on_edges(self):
+        chart = render_chart("t", [0, 10], {"a": [0.0, 1.0]}, width=20, height=6)
+        plot_lines = [line[1:] for line in chart.splitlines() if line.startswith("|")]
+        assert plot_lines[0][-1] == "o"      # max value at top-right
+        assert plot_lines[-1][0] == "o"      # min value at bottom-left
+
+    def test_log_scale_handles_wide_ranges(self):
+        chart = render_chart(
+            "t", [1, 2, 3], {"fast": [0.001, 0.002, 0.003], "slow": [1.0, 2.0, 4.0]}, log_y=True
+        )
+        assert "log10" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_chart("t", [1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("t", [1, 2, 3], {"a": [1, 2]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("t", [1, 2], {})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("t", [1], {"a": [1]})
+
+    def test_too_small_plot_area_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("t", [1, 2], {"a": [1, 2]}, width=5, height=2)
+
+    def test_many_series_get_distinct_markers(self):
+        series = {f"s{i}": [i, i + 1, i + 2] for i in range(5)}
+        chart = render_chart("t", [1, 2, 3], series)
+        legend_line = chart.splitlines()[-1]
+        assert legend_line.count("=") == 5

@@ -1,0 +1,174 @@
+"""Smoke and shape tests for every experiment driver (one per table/figure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments
+
+
+class TestFig2:
+    def test_curves_cover_all_variants(self):
+        result = experiments.run_fig2(n_rows=300, epochs=4)
+        assert set(result["curves"]) == {
+            "SGD",
+            "MGD (250 rows)",
+            "MGD-20%",
+            "MGD-50%",
+            "MGD-80%",
+            "BGD",
+        }
+        assert all(len(curve) == 4 for curve in result["curves"].values())
+
+    def test_accuracies_are_probabilities(self):
+        result = experiments.run_fig2(n_rows=200, epochs=3)
+        for curve in result["curves"].values():
+            assert all(0.0 <= acc <= 1.0 for acc in curve)
+
+
+class TestCompressionRatioFigures:
+    def test_fig5_structure_and_shape_claims(self):
+        result = experiments.run_fig5(batch_sizes=(50, 250), datasets=("census", "rcv1", "deep1b"))
+        assert set(result) == {"census", "rcv1", "deep1b"}
+        census = result["census"]
+        # TOC must beat the light-weight matrix schemes on moderate sparsity.
+        for scheme in ("CSR", "CVI", "DVI", "CLA"):
+            assert census["TOC"][250] > census[scheme][250]
+        # On the very sparse profile TOC tracks CSR.
+        rcv1 = result["rcv1"]
+        assert rcv1["TOC"][250] > 0.5 * rcv1["CSR"][250]
+        # Nothing compresses the dense continuous profile by much.
+        deep = result["deep1b"]
+        assert all(ratio < 2.0 for per_size in deep.values() for ratio in per_size.values())
+
+    def test_fig6_ablation_ordering(self):
+        result = experiments.run_fig6(batch_sizes=(250,), datasets=("census",))
+        census = result["census"]
+        assert (
+            census["TOC"][250]
+            > census["TOC_SPARSE_AND_LOGICAL"][250]
+            > census["TOC_SPARSE"][250]
+        )
+
+    def test_fig7_ratio_grows_with_batch_size(self):
+        result = experiments.run_fig7(fractions=(0.1, 1.0), datasets=("census",), total_rows=600)
+        census = result["census"]
+        assert census["TOC"][1.0] >= census["TOC"][0.1]
+
+
+class TestMatrixOpFigure:
+    def test_fig8_structure(self):
+        result = experiments.run_fig8(datasets=("census",), batch_size=60, repeats=1)
+        census = result["census"]
+        assert set(census) == set(experiments.OP_SCHEMES)
+        for timings in census.values():
+            assert set(timings) == {"A*c", "A*v", "A*M", "v*A", "M*A"}
+
+    def test_fig8_gzip_pays_decompression_on_scale(self):
+        result = experiments.run_fig8(datasets=("census",), batch_size=120, repeats=1)
+        census = result["census"]
+        # Scaling a TOC batch touches only the first layer; Gzip must inflate
+        # the whole batch first, so it is much slower.
+        assert census["TOC"]["A*c"] < census["Gzip"]["A*c"]
+
+
+class TestCodecTimesFigure:
+    def test_fig12_structure(self):
+        result = experiments.run_fig12(datasets=("census",), batch_size=60)
+        census = result["census"]
+        assert set(census) == {"Snappy", "Gzip", "TOC"}
+        for timings in census.values():
+            assert timings["compress"] >= 0
+            assert timings["decompress"] >= 0
+
+
+class TestEndToEndDrivers:
+    def test_run_end_to_end_cell(self):
+        cell = experiments.run_end_to_end(
+            "census", "TOC", "LR", n_rows=200, memory_budget_bytes=10**7, epochs=1, batch_size=50
+        )
+        assert cell["total_seconds"] > 0
+        assert cell["scheme"] == "TOC"
+        assert cell["fits_in_memory"] in (True, False)
+
+    def test_table6_structure(self):
+        result = experiments.run_table6(
+            datasets=("census",),
+            models=("LR",),
+            schemes=("TOC", "DEN"),
+            small_rows=150,
+            large_rows=300,
+            epochs=1,
+            batch_size=50,
+        )
+        assert set(result) == {"census-small", "census-large"}
+        assert set(result["census-small"]) == {"TOC", "DEN"}
+
+    def test_table7_uses_other_datasets(self):
+        result = experiments.run_table7(
+            models=("LR",),
+            schemes=("TOC",),
+            small_rows=100,
+            large_rows=200,
+            epochs=1,
+            batch_size=50,
+        )
+        assert set(result) == {"census-small", "census-large", "kdd99-small", "kdd99-large"}
+
+    def test_fig9_structure(self):
+        result = experiments.run_fig9(
+            dataset="census",
+            schemes=("TOC", "DEN"),
+            row_counts=(100, 200),
+            models=("LR",),
+            epochs=1,
+            batch_size=50,
+        )
+        assert set(result) == {"LR"}
+        assert set(result["LR"]) == {"TOC", "DEN"}
+        assert set(result["LR"]["TOC"]) == {100, 200}
+
+    def test_fig10_uses_toc_variants(self):
+        result = experiments.run_fig10(
+            dataset="census", row_counts=(100,), models=("LR",), epochs=1, batch_size=50
+        )
+        assert set(result["LR"]) == {"DEN", "TOC_SPARSE", "TOC_SPARSE_AND_LOGICAL", "TOC"}
+
+    def test_fig11_structure(self):
+        result = experiments.run_fig11(
+            dataset="census", n_rows=200, test_rows=100, epochs=2, batch_size=50
+        )
+        assert set(result["curves"]) == {"BismarckTOC", "ReferenceDEN", "ReferenceCSR"}
+        for curve in result["curves"].values():
+            assert len(curve["time"]) == 2
+            assert len(curve["error"]) == 2
+            assert curve["time"] == sorted(curve["time"])
+
+
+class TestTable1Driver:
+    def test_model_op_usage(self):
+        usage = experiments.run_table1()
+        assert usage["Logistic regression"] == ["matvec", "rmatvec"]
+        assert usage["Support vector machine"] == ["matvec", "rmatvec"]
+        assert usage["Neural network"] == ["matmat", "rmatmat"]
+
+
+class TestCLI:
+    def test_cli_runs_quick_fig5(self, capsys):
+        assert experiments.main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "TOC" in out
+
+    def test_cli_runs_quick_tab1(self, capsys):
+        assert experiments.main(["tab1"]) == 0
+        assert "Neural network" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            experiments.main(["fig99"])
+
+    def test_every_experiment_has_quick_override_or_fast_default(self):
+        # Guard rail: every registered experiment id resolves to a runner.
+        for name, (runner, printer) in experiments.EXPERIMENTS.items():
+            assert callable(runner) and callable(printer), name

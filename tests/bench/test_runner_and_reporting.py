@@ -1,0 +1,86 @@
+"""Tests for the benchmark measurement and reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+from repro.bench.runner import measure_compression, time_callable, time_matrix_ops
+from repro.bench.workloads import labeled_dataset, minibatch_for, n_classes, workload_datasets
+from repro.compression.registry import get_scheme
+
+
+class TestWorkloads:
+    def test_all_datasets_listed(self):
+        assert workload_datasets() == ("census", "imagenet", "mnist", "kdd99", "rcv1", "deep1b")
+        assert workload_datasets(include_extreme=False) == ("census", "imagenet", "mnist", "kdd99")
+
+    def test_minibatch_shape(self):
+        batch = minibatch_for("census", 100)
+        assert batch.shape == (100, 68)
+
+    def test_labeled_dataset(self):
+        features, labels = labeled_dataset("kdd99", 50)
+        assert features.shape[0] == labels.shape[0] == 50
+
+    def test_n_classes(self):
+        assert n_classes("mnist") == 10
+        assert n_classes("census") == 2
+
+
+class TestRunner:
+    def test_measure_compression_fields(self):
+        batch = minibatch_for("census", 50)
+        measurement = measure_compression("TOC", batch)
+        assert measurement.scheme == "TOC"
+        assert measurement.dense_bytes == 50 * 68 * 8
+        assert measurement.compressed_bytes > 0
+        assert measurement.ratio > 1.0
+        assert measurement.compress_seconds >= 0
+        assert measurement.decompress_seconds >= 0
+
+    def test_measure_compression_all_schemes(self):
+        batch = minibatch_for("census", 50)
+        for scheme in ("DEN", "CSR", "CVI", "DVI", "CLA", "Snappy", "Gzip", "TOC"):
+            assert measure_compression(scheme, batch).compressed_bytes > 0
+
+    def test_time_callable(self):
+        calls = []
+        elapsed = time_callable(lambda: calls.append(1), repeats=3)
+        assert elapsed >= 0
+        assert len(calls) == 3
+
+    def test_time_callable_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_time_matrix_ops_keys(self):
+        batch = minibatch_for("census", 50)
+        compressed = get_scheme("TOC").compress(batch)
+        timings = time_matrix_ops(compressed, batch.shape[1], batch.shape[0], repeats=1)
+        assert set(timings) == {"A*c", "A*v", "A*M", "v*A", "M*A"}
+        assert all(t >= 0 for t in timings.values())
+
+
+class TestReporting:
+    def test_format_table_contains_all_cells(self):
+        rows = {"TOC": {"NN": 1.0, "LR": 2.0}, "DEN": {"NN": 3.0, "LR": 4.0}}
+        text = format_table("Table", rows, ["NN", "LR"])
+        assert "TOC" in text and "DEN" in text
+        assert "1" in text and "4" in text
+
+    def test_format_table_handles_missing_cells(self):
+        rows = {"TOC": {"NN": 1.0}}
+        text = format_table("Table", rows, ["NN", "LR"])
+        assert "TOC" in text
+
+    def test_format_series(self):
+        text = format_series("Fig", "rows", [50, 100], {"TOC": [1.0, 2.0], "CSR": [0.5, 0.6]})
+        assert "TOC" in text and "CSR" in text and "50" in text
+
+    def test_format_table_is_aligned(self):
+        rows = {"A": {"x": 1.0}, "BBBBBB": {"x": 2.0}}
+        lines = format_table("T", rows, ["x"]).splitlines()
+        data_lines = [line for line in lines if "|" in line]
+        assert len({line.index("|") for line in data_lines}) == 1

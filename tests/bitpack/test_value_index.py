@@ -1,0 +1,99 @@
+"""Unit and property tests for the value-indexing (dictionary) codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitpack.value_index import ValueIndex, build_value_index
+
+
+class TestValueIndex:
+    def test_roundtrip_simple(self):
+        values = np.array([1.1, 2.0, 1.1, 3.5, 2.0, 2.0])
+        index = build_value_index(values)
+        assert np.array_equal(index.decode(), values)
+
+    def test_dictionary_has_unique_values_in_first_appearance_order(self):
+        values = np.array([3.0, 1.0, 3.0, 2.0, 1.0])
+        index = build_value_index(values)
+        assert index.dictionary.tolist() == [3.0, 1.0, 2.0]
+
+    def test_codes_reference_dictionary(self):
+        values = np.array([5.0, 7.0, 5.0])
+        index = build_value_index(values)
+        assert index.dictionary[index.codes].tolist() == values.tolist()
+
+    def test_empty_input(self):
+        index = build_value_index(np.array([]))
+        assert index.decode().size == 0
+        assert index.dictionary.size == 0
+
+    def test_single_value_repeated(self):
+        index = build_value_index(np.full(100, 2.5))
+        assert index.dictionary.size == 1
+        assert np.array_equal(index.decode(), np.full(100, 2.5))
+
+    def test_nbytes_smaller_than_doubles_when_few_distinct(self):
+        values = np.tile(np.array([1.0, 2.0, 3.0]), 100)
+        index = build_value_index(values)
+        assert index.nbytes < values.size * 8
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(ValueError):
+            ValueIndex(dictionary=np.array([1.0]), codes=np.array([0, 1]))
+
+    def test_serialisation_roundtrip(self):
+        values = np.array([1.5, -2.0, 1.5, 0.25, -2.0])
+        index = build_value_index(values)
+        restored, consumed = ValueIndex.from_bytes(index.to_bytes())
+        assert consumed == len(index.to_bytes())
+        assert np.array_equal(restored.decode(), values)
+
+    def test_truncated_dictionary_rejected(self):
+        index = build_value_index(np.array([1.0, 2.0, 3.0]))
+        raw = index.to_bytes()
+        with pytest.raises(ValueError):
+            ValueIndex.from_bytes(raw[:-4])
+
+
+class TestValueIndexProperties:
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=0,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.float64)
+        index = build_value_index(arr)
+        assert np.array_equal(index.decode(), arr)
+
+    @given(
+        st.lists(
+            st.sampled_from([0.0, 1.0, -1.5, 2.25, 100.0]), min_size=1, max_size=500
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dictionary_size_bounded_by_distinct_count(self, values):
+        arr = np.asarray(values, dtype=np.float64)
+        index = build_value_index(arr)
+        assert index.dictionary.size == np.unique(arr).size
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=0,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_serialisation_property(self, values):
+        arr = np.asarray(values, dtype=np.float64)
+        index = build_value_index(arr)
+        restored, _ = ValueIndex.from_bytes(index.to_bytes())
+        assert np.array_equal(restored.decode(), arr)

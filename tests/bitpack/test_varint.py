@@ -1,0 +1,60 @@
+"""Unit and property tests for the varint codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitpack.varint import decode_varints, encode_varints
+
+
+class TestVarint:
+    def test_roundtrip_small(self):
+        values = np.array([0, 1, 127, 128, 255, 300, 16384])
+        assert np.array_equal(decode_varints(encode_varints(values)), values)
+
+    def test_single_byte_for_small_values(self):
+        assert len(encode_varints(np.array([0]))) == 1
+        assert len(encode_varints(np.array([127]))) == 1
+        assert len(encode_varints(np.array([128]))) == 2
+
+    def test_empty(self):
+        assert decode_varints(encode_varints(np.array([], dtype=np.int64))).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varints(np.array([-1]))
+
+    def test_count_limits_decoding(self):
+        raw = encode_varints(np.array([1, 2, 3, 4]))
+        assert decode_varints(raw, count=2).tolist() == [1, 2]
+
+    def test_count_beyond_stream_rejected(self):
+        raw = encode_varints(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            decode_varints(raw, count=5)
+
+    def test_truncated_stream_rejected(self):
+        raw = encode_varints(np.array([2**20]))
+        with pytest.raises(ValueError):
+            decode_varints(raw[:-1])
+
+    def test_large_values(self):
+        values = np.array([2**40, 2**50, 2**62])
+        assert np.array_equal(decode_varints(encode_varints(values)), values)
+
+
+class TestVarintProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**63 - 1), max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        assert np.array_equal(decode_varints(encode_varints(arr)), arr)
+
+    @given(st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_small_values_one_byte_each(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        assert len(encode_varints(arr)) == arr.size

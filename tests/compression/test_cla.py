@@ -1,0 +1,70 @@
+"""Tests specific to the simplified CLA implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.cla import CLAMatrix
+from tests.conftest import random_sparse_matrix
+
+
+class TestCLAGrouping:
+    def test_quantised_columns_are_cocoded(self):
+        # Two columns whose tuples repeat heavily should land in one group.
+        rng = np.random.default_rng(0)
+        col_a = rng.integers(0, 3, size=200).astype(np.float64)
+        col_b = col_a * 2.0
+        matrix = np.column_stack([col_a, col_b])
+        cla = CLAMatrix(matrix)
+        assert cla.n_groups == 1
+
+    def test_high_cardinality_columns_stay_uncompressed(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(50, 3))
+        cla = CLAMatrix(matrix)
+        # All columns are incompressible: a single uncompressed group.
+        assert cla.n_groups == 1
+        assert np.array_equal(cla.to_dense(), matrix)
+
+    def test_mixed_columns(self):
+        rng = np.random.default_rng(1)
+        quantised = rng.integers(0, 4, size=(100, 4)).astype(np.float64)
+        continuous = rng.normal(size=(100, 2))
+        matrix = np.hstack([quantised, continuous])
+        cla = CLAMatrix(matrix)
+        assert np.array_equal(cla.to_dense(), matrix)
+        assert cla.n_groups >= 2
+
+    def test_explicit_dictionary_hurts_small_batches(self):
+        """The CLA property the paper's argument uses: on a small mini-batch the
+        dictionary is poorly amortised, so the per-row cost is much higher than
+        on a large batch of the same data distribution."""
+        rng = np.random.default_rng(2)
+        values = np.round(rng.uniform(0, 5, size=8), 2)
+
+        def batch(rows: int) -> np.ndarray:
+            return values[rng.integers(0, 8, size=(rows, 30))]
+
+        small = CLAMatrix(batch(25))
+        large = CLAMatrix(batch(2500))
+        small_per_row = small.nbytes / 25
+        large_per_row = large.nbytes / 2500
+        assert small_per_row > 1.1 * large_per_row
+
+    def test_compression_on_repetitive_data(self, census_batch):
+        cla = CLAMatrix(census_batch)
+        assert cla.nbytes < census_batch.size * 8
+
+    def test_ops_on_random_data(self, rng):
+        dense = random_sparse_matrix(rng, 40, 12)
+        cla = CLAMatrix(dense)
+        v = rng.normal(size=12)
+        u = rng.normal(size=40)
+        np.testing.assert_allclose(cla.matvec(v), dense @ v, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(cla.rmatvec(u), u @ dense, rtol=1e-9, atol=1e-12)
+
+    def test_scale_preserves_grouping(self, census_batch):
+        cla = CLAMatrix(census_batch)
+        scaled = cla.scale(3.0)
+        assert scaled.n_groups == cla.n_groups
+        np.testing.assert_allclose(scaled.to_dense(), census_batch * 3.0)

@@ -1,0 +1,39 @@
+"""Tests for the compression-scheme registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression.registry import available_schemes, get_scheme
+from repro.core.toc import TOCVariant
+
+
+class TestRegistry:
+    def test_all_paper_schemes_available(self):
+        names = available_schemes()
+        assert names == ["DEN", "CSR", "CVI", "DVI", "CLA", "Snappy", "Gzip", "TOC"]
+
+    def test_ablation_variants_listed_when_requested(self):
+        names = available_schemes(include_ablations=True)
+        assert "TOC_SPARSE" in names
+        assert "TOC_SPARSE_AND_LOGICAL" in names
+
+    def test_unknown_scheme_raises_keyerror_with_hint(self):
+        with pytest.raises(KeyError, match="valid names"):
+            get_scheme("LZ77")
+
+    def test_every_listed_scheme_is_constructible(self):
+        for name in available_schemes(include_ablations=True):
+            scheme = get_scheme(name)
+            assert scheme.name == name
+
+    def test_toc_full_alias(self):
+        assert get_scheme("TOC_FULL").variant is TOCVariant.FULL
+
+    def test_toc_variants_map_correctly(self):
+        assert get_scheme("TOC").variant is TOCVariant.FULL
+        assert get_scheme("TOC_SPARSE").variant is TOCVariant.SPARSE
+        assert get_scheme("TOC_SPARSE_AND_LOGICAL").variant is TOCVariant.SPARSE_AND_LOGICAL
+
+    def test_schemes_are_independent_instances(self):
+        assert get_scheme("CSR") is not get_scheme("CSR")

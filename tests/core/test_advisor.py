@@ -1,0 +1,44 @@
+"""Tests for the scheme advisor (Section 5.1's 'test on a sample' advice)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import recommend_scheme
+
+
+class TestRecommendScheme:
+    def test_reports_cover_all_default_schemes(self, census_batch):
+        recommendation = recommend_scheme(census_batch)
+        assert len(recommendation.reports) == 8
+        assert recommendation.sample_shape == census_batch.shape
+
+    def test_reports_sorted_best_first(self, census_batch):
+        recommendation = recommend_scheme(census_batch)
+        scores = [report.score for report in recommendation.reports]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_moderate_sparsity_prefers_toc(self, census_batch):
+        """On the repetitive moderately-sparse profile the advisor picks TOC:
+        it compresses far better than the LMC schemes and, unlike Gzip, its
+        matrix operations do not pay a decompression."""
+        assert recommend_scheme(census_batch).best.name == "TOC"
+
+    def test_very_sparse_data_ranks_csr_family_high(self, rcv1_batch):
+        recommendation = recommend_scheme(rcv1_batch)
+        assert recommendation.best.name in {"CSR", "CVI", "TOC"}
+
+    def test_dense_noise_does_not_recommend_sparse_schemes(self, dense_batch):
+        best = recommend_scheme(dense_batch).best
+        assert best.compression_ratio <= 1.5
+
+    def test_subset_of_schemes(self, census_batch):
+        recommendation = recommend_scheme(census_batch, schemes=["DEN", "CSR"])
+        assert recommendation.ranked_names() == ["CSR", "DEN"] or recommendation.ranked_names() == ["DEN", "CSR"]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            recommend_scheme(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            recommend_scheme(np.ones(5))

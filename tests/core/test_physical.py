@@ -1,0 +1,116 @@
+"""Tests for the physical encoding layer (bit packing + value indexing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.logical import prefix_tree_encode
+from repro.core.physical import (
+    PhysicalEncoding,
+    logical_nbytes,
+    physical_decode,
+    physical_decode_varint,
+    physical_encode,
+    physical_encode_varint,
+)
+from repro.core.sparse import sparse_encode
+from tests.conftest import random_sparse_matrix
+
+
+def _logical(dense: np.ndarray):
+    encoding, _ = prefix_tree_encode(sparse_encode(dense))
+    return encoding
+
+
+def _assert_logical_equal(a, b) -> None:
+    assert a.shape == b.shape
+    assert np.array_equal(a.first_layer_columns, b.first_layer_columns)
+    assert np.array_equal(a.first_layer_values, b.first_layer_values)
+    assert np.array_equal(a.codes, b.codes)
+    assert np.array_equal(a.row_offsets, b.row_offsets)
+
+
+class TestPhysicalEncoding:
+    def test_roundtrip(self, census_batch):
+        logical = _logical(census_batch)
+        _assert_logical_equal(physical_decode(physical_encode(logical)), logical)
+
+    def test_roundtrip_zero_matrix(self):
+        logical = _logical(np.zeros((3, 4)))
+        _assert_logical_equal(physical_decode(physical_encode(logical)), logical)
+
+    def test_bytes_roundtrip(self, census_batch):
+        logical = _logical(census_batch)
+        physical = physical_encode(logical)
+        restored = PhysicalEncoding.from_bytes(physical.to_bytes())
+        _assert_logical_equal(physical_decode(restored), logical)
+
+    def test_bad_magic_rejected(self, census_batch):
+        raw = physical_encode(_logical(census_batch)).to_bytes()
+        with pytest.raises(ValueError):
+            PhysicalEncoding.from_bytes(b"XXXX" + raw[4:])
+
+    def test_physical_smaller_than_logical(self, census_batch):
+        logical = _logical(census_batch)
+        assert physical_encode(logical).nbytes < logical_nbytes(logical)
+
+    def test_nbytes_matches_serialised_length(self, census_batch):
+        physical = physical_encode(_logical(census_batch))
+        assert physical.nbytes == len(physical.to_bytes())
+
+    def test_compressed_smaller_than_dense_on_compressible_data(self, census_batch):
+        physical = physical_encode(_logical(census_batch))
+        assert physical.nbytes < census_batch.size * 8
+
+
+class TestVarintLayout:
+    def test_roundtrip(self, census_batch):
+        logical = _logical(census_batch)
+        _assert_logical_equal(
+            physical_decode_varint(physical_encode_varint(logical)), logical
+        )
+
+    def test_roundtrip_zero_matrix(self):
+        logical = _logical(np.zeros((2, 3)))
+        _assert_logical_equal(
+            physical_decode_varint(physical_encode_varint(logical)), logical
+        )
+
+    def test_roundtrip_random(self, rng):
+        dense = random_sparse_matrix(rng, 14, 11)
+        logical = _logical(dense)
+        _assert_logical_equal(
+            physical_decode_varint(physical_encode_varint(logical)), logical
+        )
+
+
+class TestPhysicalProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=14),
+            elements=st.sampled_from([0.0, 0.0, 1.0, 2.5, -1.25]),
+        )
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_roundtrip_property(self, dense):
+        logical = _logical(dense)
+        _assert_logical_equal(physical_decode(physical_encode(logical)), logical)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=12),
+            elements=st.sampled_from([0.0, 1.0, 3.5]),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_varint_roundtrip_property(self, dense):
+        logical = _logical(dense)
+        _assert_logical_equal(
+            physical_decode_varint(physical_encode_varint(logical)), logical
+        )

@@ -1,0 +1,113 @@
+"""Tests for the user-facing TOCMatrix and its variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.toc import TOCMatrix, TOCVariant
+from tests.conftest import random_sparse_matrix
+
+
+class TestTOCMatrixBasics:
+    def test_shape_properties(self, census_batch):
+        toc = TOCMatrix.encode(census_batch)
+        assert toc.shape == census_batch.shape
+        assert toc.n_rows == census_batch.shape[0]
+        assert toc.n_cols == census_batch.shape[1]
+
+    def test_roundtrip_random(self, rng):
+        dense = random_sparse_matrix(rng, 30, 20)
+        assert np.array_equal(TOCMatrix.encode(dense).to_dense(), dense)
+
+    def test_roundtrip_extreme_shapes(self):
+        for dense in (np.zeros((1, 1)), np.ones((1, 10)), np.ones((10, 1)), np.zeros((5, 3))):
+            assert np.array_equal(TOCMatrix.encode(dense).to_dense(), dense)
+
+    def test_serialisation_roundtrip(self, census_batch):
+        toc = TOCMatrix.encode(census_batch)
+        restored = TOCMatrix.from_bytes(toc.to_bytes())
+        assert np.array_equal(restored.to_dense(), census_batch)
+        assert restored.nbytes == toc.nbytes
+
+    def test_compression_ratio_above_one_on_compressible_data(self, census_batch):
+        assert TOCMatrix.encode(census_batch).compression_ratio() > 1.0
+
+    def test_stats_keys(self, census_batch):
+        stats = TOCMatrix.encode(census_batch).stats()
+        assert {"rows", "cols", "nnz", "first_layer", "codes", "tree_nodes",
+                "compressed_bytes", "compression_ratio"} <= set(stats)
+
+    def test_decode_tree_is_cached(self, census_batch):
+        toc = TOCMatrix.encode(census_batch)
+        assert toc.decode_tree is toc.decode_tree
+
+
+class TestTOCMatrixOps:
+    def test_all_ops_match_dense(self, census_batch, rng):
+        toc = TOCMatrix.encode(census_batch)
+        n_rows, n_cols = census_batch.shape
+        v = rng.normal(size=n_cols)
+        u = rng.normal(size=n_rows)
+        m_right = rng.normal(size=(n_cols, 6))
+        m_left = rng.normal(size=(6, n_rows))
+        np.testing.assert_allclose(toc.matvec(v), census_batch @ v, rtol=1e-10)
+        np.testing.assert_allclose(toc.rmatvec(u), u @ census_batch, rtol=1e-10)
+        np.testing.assert_allclose(toc.matmat(m_right), census_batch @ m_right, rtol=1e-10)
+        np.testing.assert_allclose(toc.rmatmat(m_left), m_left @ census_batch, rtol=1e-10)
+
+    def test_scale_returns_new_matrix(self, census_batch):
+        toc = TOCMatrix.encode(census_batch)
+        scaled = toc.scale(2.0)
+        assert scaled is not toc
+        np.testing.assert_allclose(scaled.to_dense(), census_batch * 2.0)
+        # The original must be untouched.
+        np.testing.assert_allclose(toc.to_dense(), census_batch)
+
+    def test_power(self, census_batch):
+        toc = TOCMatrix.encode(census_batch)
+        np.testing.assert_allclose(toc.power(2).to_dense(), census_batch**2)
+
+    def test_add_scalar_returns_dense(self, census_batch):
+        toc = TOCMatrix.encode(census_batch)
+        result = toc.add_scalar(1.5)
+        assert isinstance(result, np.ndarray)
+        np.testing.assert_allclose(result, census_batch + 1.5)
+
+
+class TestTOCVariants:
+    def test_variant_sizes_are_ordered(self, census_batch):
+        """More encoding layers must never increase the size on compressible data."""
+        sparse_size = TOCMatrix.encode(census_batch, TOCVariant.SPARSE).nbytes
+        logical_size = TOCMatrix.encode(census_batch, TOCVariant.SPARSE_AND_LOGICAL).nbytes
+        full_size = TOCMatrix.encode(census_batch, TOCVariant.FULL).nbytes
+        assert full_size < logical_size < sparse_size
+
+    def test_all_variants_lossless(self, census_batch):
+        for variant in TOCVariant:
+            toc = TOCMatrix.encode(census_batch, variant)
+            assert np.array_equal(toc.to_dense(), census_batch)
+
+    def test_all_variants_support_ops(self, census_batch, rng):
+        v = rng.normal(size=census_batch.shape[1])
+        for variant in TOCVariant:
+            toc = TOCMatrix.encode(census_batch, variant)
+            np.testing.assert_allclose(toc.matvec(v), census_batch @ v, rtol=1e-10)
+
+
+class TestTOCMatrixOnExtremeData:
+    def test_very_sparse_batch(self, rcv1_batch, rng):
+        toc = TOCMatrix.encode(rcv1_batch)
+        assert np.array_equal(toc.to_dense(), rcv1_batch)
+        v = rng.normal(size=rcv1_batch.shape[1])
+        np.testing.assert_allclose(toc.matvec(v), rcv1_batch @ v, rtol=1e-9)
+
+    def test_fully_dense_batch(self, dense_batch, rng):
+        toc = TOCMatrix.encode(dense_batch)
+        assert np.array_equal(toc.to_dense(), dense_batch)
+        u = rng.normal(size=dense_batch.shape[0])
+        np.testing.assert_allclose(toc.rmatvec(u), u @ dense_batch, rtol=1e-9)
+
+    def test_rejects_non_2d_input(self):
+        with pytest.raises(ValueError):
+            TOCMatrix.encode(np.ones(5))

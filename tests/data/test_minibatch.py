@@ -1,0 +1,97 @@
+"""Tests for mini-batch splitting and the shuffle-once discipline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.minibatch import MiniBatchIterator, split_minibatches
+
+
+@pytest.fixture()
+def data():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(103, 7))
+    labels = rng.integers(0, 2, size=103).astype(np.float64)
+    return features, labels
+
+
+class TestSplitMinibatches:
+    def test_batch_sizes(self, data):
+        features, labels = data
+        batches = split_minibatches(features, labels, batch_size=25)
+        assert [bx.shape[0] for bx, _ in batches] == [25, 25, 25, 25, 3]
+
+    def test_drop_last(self, data):
+        features, labels = data
+        batches = split_minibatches(features, labels, batch_size=25, drop_last=True)
+        assert [bx.shape[0] for bx, _ in batches] == [25, 25, 25, 25]
+
+    def test_all_rows_covered_exactly_once(self, data):
+        features, labels = data
+        batches = split_minibatches(features, labels, batch_size=20)
+        stacked = np.vstack([bx for bx, _ in batches])
+        assert stacked.shape == features.shape
+        assert np.allclose(np.sort(stacked, axis=0), np.sort(features, axis=0))
+
+    def test_labels_stay_aligned_with_features(self, data):
+        features, labels = data
+        # Make the label recoverable from the row so alignment is checkable.
+        features = features.copy()
+        features[:, 0] = labels
+        batches = split_minibatches(features, labels, batch_size=30, seed=3)
+        for bx, by in batches:
+            assert np.array_equal(bx[:, 0], by)
+
+    def test_shuffle_once_is_deterministic(self, data):
+        features, labels = data
+        a = split_minibatches(features, labels, batch_size=30, seed=5)
+        b = split_minibatches(features, labels, batch_size=30, seed=5)
+        for (ax, _), (bx, _) in zip(a, b):
+            assert np.array_equal(ax, bx)
+
+    def test_no_shuffle_preserves_order(self, data):
+        features, labels = data
+        batches = split_minibatches(features, labels, batch_size=50, shuffle=False)
+        assert np.array_equal(batches[0][0], features[:50])
+
+    def test_unlabeled_split(self, data):
+        features, _ = data
+        batches = split_minibatches(features, None, batch_size=40)
+        assert all(by is None for _, by in batches)
+
+    def test_invalid_batch_size_rejected(self, data):
+        features, labels = data
+        with pytest.raises(ValueError):
+            split_minibatches(features, labels, batch_size=0)
+
+    def test_mismatched_labels_rejected(self, data):
+        features, labels = data
+        with pytest.raises(ValueError):
+            split_minibatches(features, labels[:-1], batch_size=10)
+
+    def test_1d_features_rejected(self):
+        with pytest.raises(ValueError):
+            split_minibatches(np.ones(10), None, batch_size=2)
+
+
+class TestMiniBatchIterator:
+    def test_iteration_and_indexing(self, data):
+        features, labels = data
+        batches = split_minibatches(features, labels, batch_size=25)
+        iterator = MiniBatchIterator(batches)
+        assert len(iterator) == len(batches)
+        assert np.array_equal(iterator[0][0], batches[0][0])
+        assert sum(1 for _ in iterator) == len(batches)
+
+    def test_replay_is_identical_across_epochs(self, data):
+        features, labels = data
+        iterator = MiniBatchIterator(split_minibatches(features, labels, batch_size=25))
+        first_epoch = [bx.copy() for bx, _ in iterator]
+        second_epoch = [bx.copy() for bx, _ in iterator]
+        for a, b in zip(first_epoch, second_epoch):
+            assert np.array_equal(a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MiniBatchIterator([])

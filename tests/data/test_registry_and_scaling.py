@@ -1,0 +1,98 @@
+"""Tests for the dataset profiles (Table 5 stand-ins) and dataset scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.registry import DATASET_PROFILES, generate_dataset
+from repro.data.scaling import scale_labeled, scale_rows
+from repro.data.synthetic import measured_sparsity
+
+
+class TestDatasetProfiles:
+    def test_all_six_paper_datasets_present(self):
+        assert set(DATASET_PROFILES) == {"census", "imagenet", "mnist", "kdd99", "rcv1", "deep1b"}
+
+    @pytest.mark.parametrize(
+        ("name", "n_cols"),
+        [("census", 68), ("imagenet", 900), ("mnist", 784), ("kdd99", 42), ("deep1b", 96)],
+    )
+    def test_column_counts_match_table5(self, name, n_cols):
+        assert DATASET_PROFILES[name].config.n_cols == n_cols
+
+    @pytest.mark.parametrize(
+        ("name", "sparsity"),
+        [("census", 0.43), ("imagenet", 0.31), ("mnist", 0.25), ("kdd99", 0.39), ("deep1b", 1.0)],
+    )
+    def test_sparsity_matches_table5(self, name, sparsity):
+        matrix = DATASET_PROFILES[name].matrix(400, seed=0)
+        assert measured_sparsity(matrix) == pytest.approx(sparsity, abs=0.07)
+
+    def test_rcv1_is_extremely_sparse(self):
+        matrix = DATASET_PROFILES["rcv1"].matrix(200, seed=0)
+        assert measured_sparsity(matrix) < 0.01
+
+    def test_mnist_profile_is_multiclass(self):
+        assert DATASET_PROFILES["mnist"].n_classes == 10
+
+    def test_generate_dataset_by_name(self):
+        matrix = generate_dataset("census", 30, seed=1)
+        assert matrix.shape == (30, 68)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            generate_dataset("criteo", 10)
+
+    def test_classification_returns_aligned_labels(self):
+        features, labels = DATASET_PROFILES["kdd99"].classification(50, seed=0)
+        assert features.shape[0] == labels.shape[0] == 50
+
+
+class TestScaling:
+    def test_upscaling_keeps_original_prefix(self):
+        matrix = np.arange(20, dtype=np.float64).reshape(5, 4)
+        scaled = scale_rows(matrix, 12, seed=0)
+        assert scaled.shape == (12, 4)
+        assert np.array_equal(scaled[:5], matrix)
+
+    def test_new_rows_are_resampled_from_original(self):
+        matrix = np.arange(20, dtype=np.float64).reshape(5, 4)
+        scaled = scale_rows(matrix, 50, seed=0)
+        original_rows = {tuple(row) for row in matrix}
+        assert all(tuple(row) in original_rows for row in scaled[5:])
+
+    def test_downscaling_truncates(self):
+        matrix = np.arange(20, dtype=np.float64).reshape(5, 4)
+        assert np.array_equal(scale_rows(matrix, 3), matrix[:3])
+
+    def test_scaling_preserves_compressibility(self):
+        """Row resampling must not destroy the repeated-sequence structure."""
+        from repro.core.toc import TOCMatrix
+
+        base = DATASET_PROFILES["census"].matrix(100, seed=0)
+        scaled = scale_rows(base, 400, seed=0)
+        base_ratio = TOCMatrix.encode(base).compression_ratio()
+        scaled_ratio = TOCMatrix.encode(scaled).compression_ratio()
+        assert scaled_ratio > 0.8 * base_ratio
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            scale_rows(np.ones((2, 2)), 0)
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            scale_rows(np.ones(4), 8)
+
+    def test_scale_labeled_keeps_alignment(self):
+        features = np.arange(20, dtype=np.float64).reshape(5, 4)
+        labels = np.arange(5, dtype=np.float64)
+        # Encode the label into the row so alignment is verifiable.
+        features[:, 0] = labels
+        scaled_x, scaled_y = scale_labeled(features, labels, 18, seed=1)
+        assert scaled_x.shape == (18, 4)
+        assert np.array_equal(scaled_x[:, 0], scaled_y)
+
+    def test_scale_labeled_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            scale_labeled(np.ones((3, 2)), np.ones(2), 5)

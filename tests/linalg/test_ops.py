@@ -1,0 +1,55 @@
+"""Tests for the scheme-agnostic linear-algebra dispatch helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.compression.registry import get_scheme
+from repro.linalg import ops
+
+
+@pytest.fixture()
+def dense(rng):
+    return rng.normal(size=(12, 8)) * (rng.random((12, 8)) < 0.5)
+
+
+class TestDispatch:
+    def test_ndarray_passthrough(self, dense, rng):
+        v = rng.normal(size=8)
+        u = rng.normal(size=12)
+        np.testing.assert_allclose(ops.matvec(dense, v), dense @ v)
+        np.testing.assert_allclose(ops.rmatvec(dense, u), u @ dense)
+        np.testing.assert_allclose(ops.to_dense(dense), dense)
+
+    def test_scipy_sparse_supported(self, dense, rng):
+        csr = sp.csr_matrix(dense)
+        v = rng.normal(size=8)
+        u = rng.normal(size=12)
+        np.testing.assert_allclose(ops.matvec(csr, v), dense @ v)
+        np.testing.assert_allclose(ops.rmatvec(csr, u), u @ dense)
+        np.testing.assert_allclose(ops.to_dense(csr), dense)
+
+    def test_compressed_matrix_supported(self, dense, rng):
+        compressed = get_scheme("TOC").compress(dense)
+        v = rng.normal(size=8)
+        u = rng.normal(size=12)
+        m = rng.normal(size=(8, 3))
+        k = rng.normal(size=(3, 12))
+        np.testing.assert_allclose(ops.matvec(compressed, v), dense @ v, rtol=1e-9)
+        np.testing.assert_allclose(ops.rmatvec(compressed, u), u @ dense, rtol=1e-9)
+        np.testing.assert_allclose(ops.matmat(compressed, m), dense @ m, rtol=1e-9)
+        np.testing.assert_allclose(ops.rmatmat(compressed, k), k @ dense, rtol=1e-9)
+        np.testing.assert_allclose(ops.to_dense(compressed), dense)
+
+    def test_scale_dispatch(self, dense):
+        compressed = get_scheme("CSR").compress(dense)
+        np.testing.assert_allclose(ops.to_dense(ops.scale(compressed, 2.0)), dense * 2.0)
+        np.testing.assert_allclose(ops.scale(dense, 2.0), dense * 2.0)
+
+    def test_matmat_and_rmatmat_on_ndarray(self, dense, rng):
+        m = rng.normal(size=(8, 4))
+        k = rng.normal(size=(4, 12))
+        np.testing.assert_allclose(ops.matmat(dense, m), dense @ m)
+        np.testing.assert_allclose(ops.rmatmat(dense, k), k @ dense)

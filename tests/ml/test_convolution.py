@@ -1,0 +1,99 @@
+"""Tests for the im2col / compressed-convolution extension (paper Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.convolution import CompressedConv2d, conv2d_direct, im2col
+
+
+def _quantised_images(batch: int, height: int, width: int, channels: int | None = None, seed: int = 0):
+    """Images with a small value domain (so the replicated matrix compresses)."""
+    rng = np.random.default_rng(seed)
+    shape = (batch, height, width) if channels is None else (batch, channels, height, width)
+    return rng.integers(0, 4, size=shape).astype(np.float64)
+
+
+class TestIm2col:
+    def test_output_shape_single_channel(self):
+        images = _quantised_images(2, 6, 6)
+        matrix, (batch, oh, ow) = im2col(images, kernel_size=3)
+        assert (batch, oh, ow) == (2, 4, 4)
+        assert matrix.shape == (2 * 4 * 4, 9)
+
+    def test_output_shape_multi_channel_with_stride(self):
+        images = _quantised_images(1, 8, 8, channels=3)
+        matrix, (batch, oh, ow) = im2col(images, kernel_size=2, stride=2)
+        assert (batch, oh, ow) == (1, 4, 4)
+        assert matrix.shape == (16, 3 * 4)
+
+    def test_rows_contain_the_windows(self):
+        image = np.arange(16, dtype=np.float64).reshape(1, 4, 4)
+        matrix, _ = im2col(image, kernel_size=2)
+        assert matrix[0].tolist() == [0.0, 1.0, 4.0, 5.0]
+        assert matrix[-1].tolist() == [10.0, 11.0, 14.0, 15.0]
+
+    def test_kernel_larger_than_image_rejected(self):
+        with pytest.raises(ValueError):
+            im2col(_quantised_images(1, 3, 3), kernel_size=5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            im2col(_quantised_images(1, 4, 4), kernel_size=0)
+        with pytest.raises(ValueError):
+            im2col(np.zeros((4, 4)), kernel_size=2)
+
+
+class TestConv2dDirect:
+    def test_matches_manual_convolution(self):
+        image = np.arange(9, dtype=np.float64).reshape(1, 3, 3)
+        kernel = np.ones((1, 1, 2, 2))
+        output = conv2d_direct(image, kernel)
+        expected = np.array([[0 + 1 + 3 + 4, 1 + 2 + 4 + 5], [3 + 4 + 6 + 7, 4 + 5 + 7 + 8]])
+        assert np.array_equal(output[0, 0], expected)
+
+    def test_multi_filter_shapes(self):
+        images = _quantised_images(3, 7, 7, channels=2)
+        kernels = np.random.default_rng(0).normal(size=(5, 2, 3, 3))
+        output = conv2d_direct(images, kernels)
+        assert output.shape == (3, 5, 5, 5)
+
+
+class TestCompressedConv2d:
+    @pytest.mark.parametrize("scheme", ["TOC", "CSR", "DEN"])
+    def test_forward_matches_direct_convolution(self, scheme):
+        images = _quantised_images(3, 8, 8, seed=1)
+        kernels = np.random.default_rng(2).normal(size=(4, 1, 3, 3))
+        layer = CompressedConv2d(kernel_size=3, scheme=scheme).bind(images)
+        np.testing.assert_allclose(
+            layer.forward(kernels), conv2d_direct(images, kernels), rtol=1e-9
+        )
+
+    def test_replication_makes_toc_compress_well(self):
+        """The Section 6 claim: im2col replication boosts TOC's ratio."""
+        images = _quantised_images(4, 12, 12, seed=3)
+        layer = CompressedConv2d(kernel_size=3, scheme="TOC").bind(images)
+        assert layer.compression_ratio > 3.0
+
+    def test_forward_with_updated_kernels_reuses_compression(self):
+        images = _quantised_images(2, 6, 6, seed=4)
+        layer = CompressedConv2d(kernel_size=3, scheme="TOC").bind(images)
+        first = layer.forward(np.ones((2, 1, 3, 3)))
+        second = layer.forward(np.full((2, 1, 3, 3), 2.0))
+        np.testing.assert_allclose(second, first * 2.0)
+
+    def test_unbound_layer_rejected(self):
+        layer = CompressedConv2d(kernel_size=3)
+        with pytest.raises(RuntimeError):
+            layer.forward(np.ones((1, 1, 3, 3)))
+
+    def test_mismatched_kernel_shape_rejected(self):
+        images = _quantised_images(1, 6, 6)
+        layer = CompressedConv2d(kernel_size=3).bind(images)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((1, 2, 3, 3)))  # wrong channel count
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedConv2d(kernel_size=0)

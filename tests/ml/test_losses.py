@@ -1,0 +1,128 @@
+"""Tests for the loss functions, including numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.losses import CrossEntropyLoss, HingeLoss, LogisticLoss, SquaredLoss
+
+
+def _numerical_gradient(loss, scores, targets, eps=1e-6):
+    """Central-difference gradient of the loss w.r.t. the scores."""
+    scores = np.asarray(scores, dtype=np.float64)
+    grad = np.zeros_like(scores)
+    it = np.nditer(scores, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        plus = scores.copy()
+        minus = scores.copy()
+        plus[idx] += eps
+        minus[idx] -= eps
+        grad[idx] = (loss.value(plus, targets) - loss.value(minus, targets)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestSquaredLoss:
+    def test_zero_at_perfect_prediction(self):
+        loss = SquaredLoss()
+        assert loss.value(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_value(self):
+        loss = SquaredLoss()
+        assert loss.value(np.array([2.0]), np.array([0.0])) == pytest.approx(2.0)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = SquaredLoss()
+        scores = rng.normal(size=10)
+        targets = rng.normal(size=10)
+        np.testing.assert_allclose(
+            loss.gradient(scores, targets),
+            _numerical_gradient(loss, scores, targets),
+            rtol=1e-5,
+            atol=1e-7,
+        )
+
+
+class TestLogisticLoss:
+    def test_value_is_log2_at_zero_score(self):
+        loss = LogisticLoss()
+        assert loss.value(np.array([0.0]), np.array([1.0])) == pytest.approx(np.log(2))
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = LogisticLoss()
+        scores = rng.normal(size=12)
+        targets = (rng.random(12) > 0.5).astype(np.float64)
+        np.testing.assert_allclose(
+            loss.gradient(scores, targets),
+            _numerical_gradient(loss, scores, targets),
+            rtol=1e-5,
+            atol=1e-7,
+        )
+
+    def test_numerically_stable_at_extreme_scores(self):
+        loss = LogisticLoss()
+        scores = np.array([1000.0, -1000.0])
+        targets = np.array([1.0, 0.0])
+        assert np.isfinite(loss.value(scores, targets))
+        assert np.all(np.isfinite(loss.gradient(scores, targets)))
+
+    def test_predict_proba_bounds(self, rng):
+        loss = LogisticLoss()
+        probs = loss.predict_proba(rng.normal(scale=50, size=100))
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+
+
+class TestHingeLoss:
+    def test_zero_loss_outside_margin(self):
+        loss = HingeLoss()
+        assert loss.value(np.array([2.0]), np.array([1.0])) == 0.0
+        assert loss.value(np.array([-2.0]), np.array([0.0])) == 0.0
+
+    def test_loss_inside_margin(self):
+        loss = HingeLoss()
+        assert loss.value(np.array([0.5]), np.array([1.0])) == pytest.approx(0.5)
+
+    def test_gradient_matches_numerical_away_from_kink(self, rng):
+        loss = HingeLoss()
+        # Stay away from the non-differentiable point signed*score == 1.
+        scores = np.array([2.0, -3.0, 0.2, -0.4, 5.0])
+        targets = np.array([1.0, 0.0, 0.0, 1.0, 1.0])
+        np.testing.assert_allclose(
+            loss.gradient(scores, targets),
+            _numerical_gradient(loss, scores, targets),
+            rtol=1e-5,
+            atol=1e-7,
+        )
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_prediction_loss_is_log_k(self):
+        loss = CrossEntropyLoss()
+        scores = np.zeros((4, 3))
+        targets = np.array([0, 1, 2, 0])
+        assert loss.value(scores, targets) == pytest.approx(np.log(3))
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = CrossEntropyLoss()
+        scores = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, size=6)
+        np.testing.assert_allclose(
+            loss.gradient(scores, targets),
+            _numerical_gradient(loss, scores, targets),
+            rtol=1e-4,
+            atol=1e-7,
+        )
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = CrossEntropyLoss()
+        scores = rng.normal(size=(5, 3))
+        targets = rng.integers(0, 3, size=5)
+        np.testing.assert_allclose(loss.gradient(scores, targets).sum(axis=1), 0.0, atol=1e-12)
+
+    def test_stable_at_extreme_scores(self):
+        loss = CrossEntropyLoss()
+        scores = np.array([[1000.0, -1000.0], [-1000.0, 1000.0]])
+        targets = np.array([0, 1])
+        assert np.isfinite(loss.value(scores, targets))

@@ -1,0 +1,75 @@
+"""Tests for one-vs-rest multi-class training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.registry import get_scheme
+from repro.data.registry import DATASET_PROFILES
+from repro.ml.metrics import accuracy
+from repro.ml.models import LogisticRegressionModel
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.optimizer import GradientDescentConfig
+from repro.data.minibatch import split_minibatches
+
+
+@pytest.fixture()
+def multiclass_data():
+    return DATASET_PROFILES["mnist"].classification(240, seed=5)
+
+
+class TestOneVsRest:
+    def test_requires_at_least_two_classes(self):
+        with pytest.raises(ValueError):
+            OneVsRestClassifier(lambda: LogisticRegressionModel(4), n_classes=1)
+
+    def test_one_model_per_class(self):
+        clf = OneVsRestClassifier(lambda: LogisticRegressionModel(4), n_classes=5)
+        assert len(clf.models) == 5
+
+    def test_decision_scores_shape(self, multiclass_data):
+        features, _ = multiclass_data
+        clf = OneVsRestClassifier(lambda: LogisticRegressionModel(features.shape[1]), n_classes=10)
+        assert clf.decision_scores(features).shape == (features.shape[0], 10)
+
+    def test_training_beats_chance(self, multiclass_data):
+        features, labels = multiclass_data
+        n_classes = int(labels.max()) + 1
+        clf = OneVsRestClassifier(
+            lambda: LogisticRegressionModel(features.shape[1], seed=0), n_classes=n_classes
+        )
+        batches = split_minibatches(features, labels, batch_size=60, seed=0)
+        clf.fit_batches(batches, GradientDescentConfig(batch_size=60, epochs=8, learning_rate=0.5))
+        acc = accuracy(clf.predict(features), labels)
+        assert acc > 1.5 / n_classes
+
+    def test_training_on_compressed_batches_matches_dense(self, multiclass_data):
+        features, labels = multiclass_data
+        n_classes = int(labels.max()) + 1
+        config = GradientDescentConfig(batch_size=80, epochs=2, learning_rate=0.3)
+
+        def make_clf():
+            return OneVsRestClassifier(
+                lambda: LogisticRegressionModel(features.shape[1], seed=0), n_classes=n_classes
+            )
+
+        dense_batches = split_minibatches(features, labels, batch_size=80, seed=0)
+        toc_batches = [
+            (get_scheme("TOC").compress(bx), by) for bx, by in dense_batches
+        ]
+        dense_clf = make_clf()
+        toc_clf = make_clf()
+        dense_clf.fit_batches(dense_batches, config)
+        toc_clf.fit_batches(toc_batches, config)
+        for dense_model, toc_model in zip(dense_clf.models, toc_clf.models):
+            np.testing.assert_allclose(
+                toc_model.get_parameters(), dense_model.get_parameters(), rtol=1e-8, atol=1e-10
+            )
+
+    def test_histories_one_per_class(self, multiclass_data):
+        features, labels = multiclass_data
+        clf = OneVsRestClassifier(lambda: LogisticRegressionModel(features.shape[1]), n_classes=3)
+        batches = split_minibatches(features, labels, batch_size=80, seed=0)
+        histories = clf.fit_batches(batches, GradientDescentConfig(epochs=1))
+        assert len(histories) == 3

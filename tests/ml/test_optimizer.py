@@ -1,0 +1,119 @@
+"""Tests for the MGD optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.registry import get_scheme
+from repro.data.registry import DATASET_PROFILES
+from repro.ml.models import LogisticRegressionModel
+from repro.ml.optimizer import GradientDescentConfig, MiniBatchGradientDescent
+
+
+@pytest.fixture()
+def dataset():
+    return DATASET_PROFILES["census"].classification(300, seed=11)
+
+
+class TestGradientDescentConfig:
+    def test_defaults_are_valid(self):
+        config = GradientDescentConfig()
+        assert config.batch_size == 250
+        assert config.epochs == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"epochs": 0},
+            {"learning_rate": 0.0},
+            {"learning_rate_decay": 0.0},
+            {"learning_rate_decay": 1.5},
+        ],
+    )
+    def test_invalid_hyperparameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GradientDescentConfig(**kwargs)
+
+
+class TestMiniBatchGradientDescent:
+    def test_prepare_batches_counts(self, dataset):
+        features, labels = dataset
+        optimizer = MiniBatchGradientDescent(GradientDescentConfig(batch_size=50))
+        batches = optimizer.prepare_batches(features, labels)
+        assert len(batches) == 6
+        assert all(bx.shape[0] == 50 for bx, _ in batches)
+
+    def test_prepare_batches_with_compression(self, dataset):
+        features, labels = dataset
+        optimizer = MiniBatchGradientDescent(GradientDescentConfig(batch_size=100))
+        batches = optimizer.prepare_batches(features, labels, scheme=get_scheme("TOC"))
+        assert all(hasattr(bx, "matvec") for bx, _ in batches)
+
+    def test_training_reduces_loss(self, dataset):
+        features, labels = dataset
+        config = GradientDescentConfig(batch_size=50, epochs=5, learning_rate=0.5)
+        optimizer = MiniBatchGradientDescent(config)
+        model = LogisticRegressionModel(features.shape[1], seed=0)
+        history = optimizer.fit(model, features, labels)
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+        assert len(history.epoch_losses) == 5
+        assert history.total_time > 0
+
+    def test_same_result_compressed_and_uncompressed(self, dataset):
+        features, labels = dataset
+        config = GradientDescentConfig(batch_size=50, epochs=3, learning_rate=0.3)
+
+        dense_model = LogisticRegressionModel(features.shape[1], seed=0)
+        MiniBatchGradientDescent(config).fit(dense_model, features, labels)
+
+        toc_model = LogisticRegressionModel(features.shape[1], seed=0)
+        MiniBatchGradientDescent(config).fit(toc_model, features, labels, scheme=get_scheme("TOC"))
+
+        np.testing.assert_allclose(
+            toc_model.get_parameters(), dense_model.get_parameters(), rtol=1e-8, atol=1e-10
+        )
+
+    def test_eval_fn_recorded_per_epoch(self, dataset):
+        features, labels = dataset
+        config = GradientDescentConfig(batch_size=100, epochs=4)
+        optimizer = MiniBatchGradientDescent(config)
+        model = LogisticRegressionModel(features.shape[1], seed=0)
+        history = optimizer.fit(
+            model, features, labels, eval_fn=lambda m: np.mean(m.predict(features) == labels)
+        )
+        assert len(history.epoch_metrics) == 4
+
+    def test_learning_rate_decay_changes_trajectory(self, dataset):
+        features, labels = dataset
+        base = GradientDescentConfig(batch_size=50, epochs=3, learning_rate=0.5)
+        decayed = GradientDescentConfig(
+            batch_size=50, epochs=3, learning_rate=0.5, learning_rate_decay=0.5
+        )
+        model_a = LogisticRegressionModel(features.shape[1], seed=0)
+        model_b = LogisticRegressionModel(features.shape[1], seed=0)
+        MiniBatchGradientDescent(base).fit(model_a, features, labels)
+        MiniBatchGradientDescent(decayed).fit(model_b, features, labels)
+        assert not np.allclose(model_a.get_parameters(), model_b.get_parameters())
+
+    def test_empty_batches_rejected(self):
+        optimizer = MiniBatchGradientDescent()
+        with pytest.raises(ValueError):
+            optimizer.train(LogisticRegressionModel(4), [])
+
+    def test_history_final_loss_requires_epochs(self):
+        from repro.ml.optimizer import TrainingHistory
+
+        with pytest.raises(ValueError):
+            _ = TrainingHistory().final_loss
+
+    def test_sgd_and_bgd_extremes(self, dataset):
+        """Batch size 1 (SGD) and the full dataset (BGD) both converge."""
+        features, labels = dataset
+        features, labels = features[:60], labels[:60]
+        for batch_size in (1, 60):
+            config = GradientDescentConfig(batch_size=batch_size, epochs=3, learning_rate=0.01)
+            model = LogisticRegressionModel(features.shape[1], seed=0)
+            history = MiniBatchGradientDescent(config).fit(model, features, labels)
+            assert history.epoch_losses[-1] <= history.epoch_losses[0]

@@ -1,0 +1,119 @@
+"""Tests for the byte-budgeted buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+
+
+def _payload(size: int, fill: int = 0) -> bytes:
+    return bytes([fill % 256]) * size
+
+
+class TestBufferPoolBasics:
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(budget_bytes=0)
+
+    def test_read_unknown_key_rejected(self):
+        pool = BufferPool(budget_bytes=100)
+        with pytest.raises(KeyError):
+            pool.read(0)
+
+    def test_first_read_is_a_miss_second_is_a_hit(self):
+        pool = BufferPool(budget_bytes=1000)
+        pool.put_on_disk(0, _payload(100))
+        pool.read(0)
+        pool.read(0)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+
+    def test_miss_charges_simulated_io(self):
+        pool = BufferPool(budget_bytes=1000, disk_bandwidth_bytes_per_sec=100.0)
+        pool.put_on_disk(0, _payload(250))
+        pool.read(0)
+        assert pool.stats.simulated_io_seconds == pytest.approx(2.5)
+        pool.read(0)
+        assert pool.stats.simulated_io_seconds == pytest.approx(2.5)  # hit: no extra IO
+
+    def test_contains_and_sizes(self):
+        pool = BufferPool(budget_bytes=1000)
+        pool.put_on_disk(3, _payload(10))
+        assert 3 in pool
+        assert 4 not in pool
+        assert pool.total_stored_bytes() == 10
+
+
+class TestEviction:
+    def test_everything_cached_when_it_fits(self):
+        pool = BufferPool(budget_bytes=1000)
+        for key in range(5):
+            pool.put_on_disk(key, _payload(100, key))
+        for _ in range(3):
+            for key in range(5):
+                pool.read(key)
+        assert pool.stats.misses == 5
+        assert pool.stats.hits == 10
+        assert pool.fits_entirely()
+
+    def test_cyclic_access_thrashes_when_over_budget(self):
+        """The paper's spilling behaviour: an LRU pool smaller than the cyclic
+        working set misses on (almost) every access."""
+        pool = BufferPool(budget_bytes=350)
+        for key in range(5):
+            pool.put_on_disk(key, _payload(100, key))
+        epochs = 4
+        for _ in range(epochs):
+            for key in range(5):
+                pool.read(key)
+        assert not pool.fits_entirely()
+        assert pool.stats.hit_rate == 0.0
+        assert pool.stats.misses == 5 * epochs
+
+    def test_eviction_respects_budget(self):
+        pool = BufferPool(budget_bytes=250)
+        for key in range(4):
+            pool.put_on_disk(key, _payload(100, key))
+            pool.read(key)
+        assert pool.cached_bytes <= 250
+        assert pool.stats.evictions > 0
+
+    def test_oversized_batch_never_cached(self):
+        pool = BufferPool(budget_bytes=50)
+        pool.put_on_disk(0, _payload(100))
+        pool.read(0)
+        pool.read(0)
+        assert pool.cached_bytes == 0
+        assert pool.stats.misses == 2
+
+    def test_lru_order(self):
+        pool = BufferPool(budget_bytes=200)
+        pool.put_on_disk(0, _payload(100, 0))
+        pool.put_on_disk(1, _payload(100, 1))
+        pool.put_on_disk(2, _payload(100, 2))
+        pool.read(0)
+        pool.read(1)
+        pool.read(0)  # touch 0 so 1 becomes the LRU victim
+        pool.read(2)
+        assert pool.resident_keys == [0, 2]
+
+    def test_reset_stats(self):
+        pool = BufferPool(budget_bytes=100)
+        pool.put_on_disk(0, _payload(10))
+        pool.read(0)
+        pool.reset_stats()
+        assert pool.stats.accesses == 0
+
+
+class TestHitRate:
+    def test_hit_rate_zero_without_accesses(self):
+        assert BufferPool(budget_bytes=10).stats.hit_rate == 0.0
+
+    def test_hit_rate_computation(self):
+        pool = BufferPool(budget_bytes=1000)
+        pool.put_on_disk(0, _payload(10))
+        pool.read(0)
+        pool.read(0)
+        pool.read(0)
+        assert pool.stats.hit_rate == pytest.approx(2 / 3)

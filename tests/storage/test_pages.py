@@ -1,0 +1,77 @@
+"""Tests for the page layout (fudge-factor) model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.pages import (
+    ITEM_HEADER_BYTES,
+    PAGE_HEADER_BYTES,
+    PAGE_SIZE_BYTES,
+    Page,
+    layout_blobs,
+    pages_needed,
+    stored_bytes,
+)
+
+
+class TestPage:
+    def test_new_page_has_header_overhead(self):
+        page = Page(page_id=0)
+        assert page.used_bytes == PAGE_HEADER_BYTES
+        assert page.free_bytes == PAGE_SIZE_BYTES - PAGE_HEADER_BYTES
+
+    def test_add_item_accounts_for_item_header(self):
+        page = Page(page_id=0)
+        page.add_item(0, 100)
+        assert page.used_bytes == PAGE_HEADER_BYTES + 100 + ITEM_HEADER_BYTES
+
+    def test_overfull_item_rejected(self):
+        page = Page(page_id=0)
+        with pytest.raises(ValueError):
+            page.add_item(0, PAGE_SIZE_BYTES)
+
+    def test_can_fit(self):
+        page = Page(page_id=0)
+        assert page.can_fit(1000)
+        assert not page.can_fit(PAGE_SIZE_BYTES)
+
+
+class TestLayout:
+    def test_pages_needed_for_small_blob(self):
+        assert pages_needed(10) == 1
+        assert pages_needed(0) == 1
+
+    def test_pages_needed_for_large_blob(self):
+        usable = PAGE_SIZE_BYTES - PAGE_HEADER_BYTES - ITEM_HEADER_BYTES
+        assert pages_needed(usable) == 1
+        assert pages_needed(usable + 1) == 2
+
+    def test_small_blobs_share_pages(self):
+        pages = layout_blobs([100] * 10)
+        assert len(pages) == 1
+
+    def test_large_blob_spans_pages(self):
+        pages = layout_blobs([3 * PAGE_SIZE_BYTES])
+        assert len(pages) >= 3
+
+    def test_stored_bytes_is_whole_pages(self):
+        total = stored_bytes([100, 200, 50])
+        assert total % PAGE_SIZE_BYTES == 0
+        assert total >= 350
+
+    def test_fudge_factor_is_modest_for_large_blobs(self):
+        """The paper reports <10% overhead for TOC blobs stored in Bismarck."""
+        blob_sizes = [50_000] * 20
+        physical = stored_bytes(blob_sizes)
+        logical = sum(blob_sizes)
+        assert 1.0 <= physical / logical < 1.10
+
+    def test_every_blob_fully_placed(self):
+        blob_sizes = [123, 45_678, 9, 8_000, 16_500]
+        pages = layout_blobs(blob_sizes)
+        placed = {}
+        for page in pages:
+            for batch_id, chunk in page.items:
+                placed[batch_id] = placed.get(batch_id, 0) + chunk
+        assert placed == {i: max(size, 1) for i, size in enumerate(blob_sizes)}

@@ -1,0 +1,108 @@
+"""Tests for the blob table and the model arena."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.registry import get_scheme
+from repro.data.minibatch import split_minibatches
+from repro.data.registry import DATASET_PROFILES
+from repro.storage.arena import ModelArena
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.table import BlobTable
+
+
+@pytest.fixture()
+def batches():
+    features, labels = DATASET_PROFILES["census"].classification(200, seed=9)
+    return split_minibatches(features, labels, batch_size=50, seed=0)
+
+
+class TestBlobTable:
+    def test_load_and_read_roundtrip(self, batches):
+        table = BlobTable(get_scheme("TOC"), BufferPool(budget_bytes=10**7))
+        table.load_batches(batches)
+        assert len(table) == len(batches)
+        compressed, labels = table.read_batch(0)
+        assert np.array_equal(compressed.to_dense(), batches[0][0])
+        assert np.array_equal(labels, batches[0][1])
+
+    def test_iter_batches_covers_all(self, batches):
+        table = BlobTable(get_scheme("CSR"), BufferPool(budget_bytes=10**7))
+        table.load_batches(batches)
+        assert sum(1 for _ in table.iter_batches()) == len(batches)
+
+    def test_reads_go_through_buffer_pool(self, batches):
+        pool = BufferPool(budget_bytes=10**7)
+        table = BlobTable(get_scheme("TOC"), pool)
+        table.load_batches(batches)
+        for _ in table.iter_batches():
+            pass
+        assert pool.stats.accesses == len(batches)
+
+    def test_fudge_factor_reasonable(self, batches):
+        table = BlobTable(get_scheme("TOC"), BufferPool(budget_bytes=10**7))
+        table.load_batches(batches)
+        assert 1.0 <= table.fudge_factor() < 3.0
+        assert table.physical_bytes() >= table.logical_bytes()
+
+    def test_compressed_table_smaller_than_dense_table(self, batches):
+        toc_table = BlobTable(get_scheme("TOC"), BufferPool(budget_bytes=10**7))
+        den_table = BlobTable(get_scheme("DEN"), BufferPool(budget_bytes=10**7))
+        toc_table.load_batches(batches)
+        den_table.load_batches(batches)
+        assert toc_table.logical_bytes() < den_table.logical_bytes()
+
+
+class TestModelArena:
+    def test_write_then_read(self):
+        arena = ModelArena(capacity=100)
+        params = np.arange(10, dtype=np.float64)
+        arena.write("model", params)
+        assert np.array_equal(arena.read("model"), params)
+
+    def test_overwrite_same_segment(self):
+        arena = ModelArena(capacity=100)
+        arena.write("model", np.zeros(5))
+        arena.write("model", np.ones(5))
+        assert np.array_equal(arena.read("model"), np.ones(5))
+
+    def test_wrong_size_overwrite_rejected(self):
+        arena = ModelArena(capacity=100)
+        arena.write("model", np.zeros(5))
+        with pytest.raises(ValueError):
+            arena.write("model", np.zeros(6))
+
+    def test_read_unknown_segment_rejected(self):
+        with pytest.raises(KeyError):
+            ModelArena(capacity=10).read("missing")
+
+    def test_capacity_enforced(self):
+        arena = ModelArena(capacity=10)
+        with pytest.raises(MemoryError):
+            arena.write("model", np.zeros(11))
+
+    def test_multiple_segments(self):
+        arena = ModelArena(capacity=100)
+        arena.write("a", np.ones(3))
+        arena.write("b", np.full(4, 2.0))
+        assert np.array_equal(arena.read("a"), np.ones(3))
+        assert np.array_equal(arena.read("b"), np.full(4, 2.0))
+        assert arena.used == 7
+
+    def test_duplicate_allocation_rejected(self):
+        arena = ModelArena(capacity=100)
+        arena.allocate("seg", 5)
+        with pytest.raises(ValueError):
+            arena.allocate("seg", 5)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ModelArena(capacity=0)
+
+    def test_contains(self):
+        arena = ModelArena(capacity=10)
+        arena.write("m", np.zeros(2))
+        assert "m" in arena
+        assert "x" not in arena

@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestInfoCommand:
+    def test_lists_schemes_and_datasets(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "TOC" in out
+        assert "census" in out
+        assert "fig5" in out
+
+
+class TestAdviseCommand:
+    def test_recommends_toc_for_census_profile(self, capsys):
+        assert main(["advise", "--dataset", "census", "--rows", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended scheme: TOC" in out
+
+    def test_unknown_dataset_fails_cleanly(self, capsys):
+        assert main(["advise", "--dataset", "criteo"]) == 2
+        assert "unknown dataset" in capsys.readouterr().out
+
+    def test_all_schemes_listed(self, capsys):
+        main(["advise", "--dataset", "kdd99", "--rows", "60"])
+        out = capsys.readouterr().out
+        for scheme in ("DEN", "CSR", "CVI", "DVI", "CLA", "Snappy", "Gzip", "TOC"):
+            assert scheme in out
+
+
+class TestExperimentCommand:
+    def test_runs_quick_experiment(self, capsys):
+        assert main(["experiment", "tab1"]) == 0
+        assert "Neural network" in capsys.readouterr().out
+
+    def test_quick_flag_passed_through(self, capsys):
+        assert main(["experiment", "fig6", "--quick"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_advise_defaults(self):
+        args = build_parser().parse_args(["advise"])
+        assert args.dataset == "census"
+        assert args.rows == 250
