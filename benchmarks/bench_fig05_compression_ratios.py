@@ -28,7 +28,7 @@ def test_compress_minibatch(benchmark, bench_batches, dataset, scheme):
     benchmark.extra_info["dataset"] = dataset
 
 
-def test_report_figure5_series(benchmark, capsys):
+def test_report_figure5_series(benchmark, bench_json, capsys):
     """Regenerate and print the Figure 5 series (ratios vs mini-batch size)."""
     results = benchmark.pedantic(
         run_fig5,
@@ -36,6 +36,10 @@ def test_report_figure5_series(benchmark, capsys):
         rounds=1,
         iterations=1,
     )
+    for dataset, per_scheme in results.items():
+        for scheme, ratios in per_scheme.items():
+            bench_json("fig5_ratio", dataset=dataset, scheme=scheme,
+                       ratios={str(k): v for k, v in ratios.items()})
     with capsys.disabled():
         print()
         for dataset, per_scheme in results.items():

@@ -5,15 +5,28 @@ figure-level summaries (the rows/series the paper prints) are produced once
 per session by the experiment drivers and printed at the end of the run, so
 ``pytest benchmarks/ --benchmark-only`` both times the kernels and emits the
 paper-shaped output.
+
+Benchmarks can also record machine-readable results through the
+``bench_json`` fixture; everything recorded during a session is written to
+``BENCH_<name>.json`` when the session ends (name from ``$BENCH_JSON_NAME``,
+default ``results``; location from ``$BENCH_JSON_DIR``, default the current
+directory).  Each file is a per-run snapshot — archive them (CI uploads them
+as artifacts) to accumulate the perf trajectory across commits.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.bench.runner import write_bench_json
 from repro.bench.workloads import minibatch_for
 from repro.compression.registry import get_scheme
+
+#: Records accumulated by the ``bench_json`` fixture during this session.
+_BENCH_RECORDS: list[dict] = []
 
 #: Datasets the micro-benchmarks parametrise over (kept to the moderate ones
 #: plus one extreme profile each so a full run stays under a few minutes).
@@ -27,6 +40,23 @@ BENCH_BATCH_ROWS = 250
 def bench_batches() -> dict[str, np.ndarray]:
     """One 250-row mini-batch per benchmark dataset."""
     return {name: minibatch_for(name, BENCH_BATCH_ROWS, seed=0) for name in BENCH_DATASETS}
+
+
+@pytest.fixture()
+def bench_json(request):
+    """Record one machine-readable result row: ``bench_json(name, **fields)``."""
+
+    def record(name: str, **fields) -> None:
+        _BENCH_RECORDS.append({"bench": name, "test": request.node.nodeid, **fields})
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _BENCH_RECORDS:
+        name = os.environ.get("BENCH_JSON_NAME", "results")
+        path = write_bench_json(name, _BENCH_RECORDS)
+        print(f"\nwrote {len(_BENCH_RECORDS)} benchmark records to {path}")
 
 
 @pytest.fixture(scope="session")

@@ -18,6 +18,7 @@ from repro.compression import available_schemes, get_scheme
 from repro.core import TOCMatrix, TOCVariant
 from repro.core.advisor import recommend_scheme
 from repro.data import DATASET_PROFILES, generate_dataset, split_minibatches
+from repro.engine import OutOfCoreTrainer, ShardedDataset, encode_batches
 from repro.ml import (
     FeedForwardNetwork,
     GradientDescentConfig,
@@ -42,9 +43,12 @@ __all__ = [
     "LogisticRegressionModel",
     "MiniBatchGradientDescent",
     "OneVsRestClassifier",
+    "OutOfCoreTrainer",
+    "ShardedDataset",
     "TOCMatrix",
     "TOCVariant",
     "available_schemes",
+    "encode_batches",
     "generate_dataset",
     "get_scheme",
     "recommend_scheme",

@@ -1,18 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands are provided:
+Four commands are provided:
 
 * ``info`` — package version, registered schemes, dataset profiles;
 * ``advise`` — run the scheme advisor on a sample mini-batch drawn from a
   named dataset profile (Section 5.1's "test TOC on a sample" advice);
 * ``experiment`` — run one of the paper's tables/figures by id (delegates to
-  :mod:`repro.bench.experiments`, e.g. ``python -m repro experiment fig5``).
+  :mod:`repro.bench.experiments`, e.g. ``python -m repro experiment fig5``);
+* ``train-ooc`` — shard a dataset to disk with the parallel encode pipeline
+  and train a model out-of-core through the buffer pool
+  (:mod:`repro.engine`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 
 from repro import __version__, available_schemes
 from repro.bench import experiments
@@ -53,6 +57,81 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return experiments.main(cli_args)
 
 
+def _cmd_train_ooc(args: argparse.Namespace) -> int:
+    from repro.engine import OutOfCoreTrainer, resolve_executor, resolve_workers
+    from repro.ml.models import LinearSVMModel, LogisticRegressionModel
+    from repro.ml.optimizer import GradientDescentConfig
+
+    profile = DATASET_PROFILES.get(args.dataset)
+    if profile is None:
+        print(f"unknown dataset profile {args.dataset!r}; known: {sorted(DATASET_PROFILES)}")
+        return 2
+
+    features, labels = profile.classification(args.rows, seed=args.seed)
+    try:
+        config = GradientDescentConfig(
+            batch_size=args.batch_size,
+            epochs=args.epochs,
+            learning_rate=args.learning_rate,
+            shuffle_seed=args.seed,
+        )
+        trainer = OutOfCoreTrainer(
+            args.scheme,
+            config,
+            budget_bytes=int(args.budget_mb * 1e6) if args.budget_mb is not None else None,
+            budget_ratio=args.budget_ratio,
+            prefetch_depth=args.prefetch_depth,
+            workers=args.workers,
+            executor=args.executor,
+        )
+        workers = resolve_workers(args.workers)
+        executor = resolve_executor(args.executor, workers)
+    except (KeyError, ValueError) as exc:
+        print(f"invalid train-ooc configuration: {exc}")
+        return 2
+    model_cls = LinearSVMModel if args.model == "svm" else LogisticRegressionModel
+    model = model_cls(features.shape[1], seed=args.seed)
+
+    print(
+        f"sharding {features.shape[0]} rows x {features.shape[1]} cols of {args.dataset!r} "
+        f"as {args.scheme} (batch {args.batch_size}, encode: {executor}, {workers} workers)"
+    )
+
+    try:
+        if args.shard_dir is not None:
+            report = trainer.fit(model, features, labels, args.shard_dir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+                report = trainer.fit(model, features, labels, tmp)
+    except ValueError as exc:
+        print(f"train-ooc failed: {exc}")
+        return 2
+
+    print(
+        f"shards: {len(trainer.dataset)} batches, "
+        f"{report.total_payload_bytes / 1e6:.2f} MB payload "
+        f"({report.physical_bytes / 1e6:.2f} MB paged), "
+        f"encoded in {report.encode_seconds:.3f}s"
+    )
+    print(
+        f"buffer pool: {report.budget_bytes / 1e6:.2f} MB budget — "
+        f"dataset {'fits' if report.fits_in_memory else 'does NOT fit'} in memory"
+    )
+    print(f"\n{'epoch':>5} {'loss':>10} {'wall s':>8} {'sim IO s':>9}")
+    for i, (loss, wall, io) in enumerate(
+        zip(report.history.epoch_losses, report.history.epoch_times, report.epoch_io_seconds),
+        start=1,
+    ):
+        print(f"{i:>5} {loss:>10.4f} {wall:>8.3f} {io:>9.5f}")
+    stats = report.pool_stats
+    print(
+        f"\npool stats: {stats.hits} hits / {stats.misses} misses "
+        f"(hit rate {stats.hit_rate:.0%}), {stats.evictions} evictions, "
+        f"{stats.bytes_read_from_disk / 1e6:.2f} MB read from disk"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -71,6 +150,47 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("experiment_id", choices=sorted(experiments.EXPERIMENTS))
     experiment.add_argument("--quick", action="store_true", help="reduced row counts / epochs")
     experiment.set_defaults(func=_cmd_experiment)
+
+    train_ooc = subparsers.add_parser(
+        "train-ooc",
+        help="shard a dataset to disk and train a model out-of-core",
+    )
+    train_ooc.add_argument("--dataset", default="kdd99", help="dataset profile name")
+    train_ooc.add_argument("--rows", type=int, default=4000, help="dataset rows to generate")
+    train_ooc.add_argument("--batch-size", type=int, default=250, help="mini-batch rows")
+    train_ooc.add_argument("--epochs", type=int, default=3, help="training epochs")
+    train_ooc.add_argument("--learning-rate", type=float, default=0.3, help="MGD step size")
+    train_ooc.add_argument("--scheme", default="TOC", help="compression scheme for the shards")
+    train_ooc.add_argument("--model", choices=("logreg", "svm"), default="logreg")
+    train_ooc.add_argument("--seed", type=int, default=0, help="data / shuffle / init seed")
+    train_ooc.add_argument(
+        "--workers", type=int, default=None, help="encode workers (default: one per core)"
+    )
+    train_ooc.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="encode executor kind",
+    )
+    train_ooc.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="buffer pool budget in MB (overrides --budget-ratio)",
+    )
+    train_ooc.add_argument(
+        "--budget-ratio",
+        type=float,
+        default=0.5,
+        help="pool budget as a fraction of the shard payload (default 0.5: does not fit)",
+    )
+    train_ooc.add_argument(
+        "--prefetch-depth", type=int, default=2, help="read-ahead depth (0 disables)"
+    )
+    train_ooc.add_argument(
+        "--shard-dir", default=None, help="persist shards here (default: temporary directory)"
+    )
+    train_ooc.set_defaults(func=_cmd_train_ooc)
     return parser
 
 

@@ -34,8 +34,6 @@ from repro.compression.registry import get_scheme
 from repro.data.minibatch import split_minibatches
 from repro.ml.metrics import error_rate
 from repro.ml.models import FeedForwardNetwork, LinearSVMModel, LogisticRegressionModel
-from repro.ml.multiclass import OneVsRestClassifier
-from repro.ml.optimizer import GradientDescentConfig, MiniBatchGradientDescent
 from repro.ml.reference import gradient_descent_spectrum
 from repro.storage.bismarck import BismarckSession
 from repro.storage.buffer_pool import BufferPool

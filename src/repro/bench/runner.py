@@ -1,13 +1,30 @@
-"""Measurement helpers: compression ratios, operation timings, codec timings."""
+"""Measurement helpers: compression ratios, operation timings, codec timings.
+
+Besides the timing helpers, this module owns the machine-readable benchmark
+output: :func:`write_bench_json` writes one ``BENCH_<name>.json`` snapshot
+per run (schema version, platform fingerprint, records; an existing file of
+the same name is replaced) so CI can archive each run as an artifact and the
+perf trajectory accumulates across commits.
+"""
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.compression.registry import get_scheme
+
+#: Environment variable selecting where ``BENCH_*.json`` files are written.
+BENCH_JSON_DIR_ENV = "BENCH_JSON_DIR"
+
+#: Schema version stamped into every benchmark JSON file.
+BENCH_JSON_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -47,6 +64,41 @@ def measure_compression(scheme_name: str, minibatch: np.ndarray) -> CompressionM
         compress_seconds=compress_seconds,
         decompress_seconds=decompress_seconds,
     )
+
+
+def bench_json_path(name: str, directory: str | Path | None = None) -> Path:
+    """Where ``write_bench_json`` will put the file for ``name``."""
+    base = Path(directory) if directory is not None else Path(os.environ.get(BENCH_JSON_DIR_ENV, "."))
+    return base / f"BENCH_{name}.json"
+
+
+def write_bench_json(
+    name: str,
+    records: list[dict],
+    directory: str | Path | None = None,
+) -> Path:
+    """Write benchmark ``records`` as ``BENCH_<name>.json`` and return the path.
+
+    Records are plain dicts (dataclasses are converted); the envelope adds a
+    schema version and a platform fingerprint so accumulated files stay
+    comparable across machines and commits.
+    """
+    path = bench_json_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": BENCH_JSON_VERSION,
+        "name": name,
+        "created_unix": time.time(),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpu_count": os.cpu_count(),
+        },
+        "records": [asdict(r) if hasattr(r, "__dataclass_fields__") else dict(r) for r in records],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
 
 
 def time_callable(func, repeats: int = 3) -> float:

@@ -90,6 +90,18 @@ class TOCMatrix:
         physical = PhysicalEncoding.from_bytes(raw)
         return cls(logical=physical_decode(physical), variant=TOCVariant.FULL, physical=physical)
 
+    @classmethod
+    def encode_to_bytes(cls, matrix: np.ndarray) -> bytes:
+        """Convenience: compress and serialise in one step.
+
+        The result round-trips exactly through :meth:`from_bytes`, so the
+        bytes can be persisted and decoded in a different process than the
+        one that encoded them.  (The out-of-core engine goes through the
+        scheme-generic ``compress(...).to_bytes()`` path instead, so it
+        works for every registered scheme.)
+        """
+        return cls.encode(matrix, variant=TOCVariant.FULL).to_bytes()
+
     # -- basic properties ---------------------------------------------------
 
     @property

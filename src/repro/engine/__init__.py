@@ -1,0 +1,32 @@
+"""Streaming out-of-core training engine.
+
+This package is the end-to-end data path the paper's storage experiments
+imply but the seed code never assembled:
+
+1. **encode** — shard a dataset into TOC-compressed mini-batches with a
+   multi-worker ``concurrent.futures`` pipeline (:mod:`repro.engine.encode`);
+2. **persist** — write one blob file per batch plus a manifest
+   (:mod:`repro.engine.shards`), page-layout accounting included;
+3. **serve** — register shards as lazy entries in the byte-budgeted
+   :class:`~repro.storage.buffer_pool.BufferPool` and stream them with
+   read-ahead prefetch (:mod:`repro.engine.prefetch`);
+4. **train** — drive the existing MGD optimizer and models over the stream
+   (:mod:`repro.engine.trainer`), or hand the shards to a Bismarck session.
+"""
+
+from repro.engine.encode import EncodedBatch, encode_batches, resolve_executor, resolve_workers
+from repro.engine.prefetch import prefetch_iter
+from repro.engine.shards import ShardedDataset, ShardInfo
+from repro.engine.trainer import OOCTrainReport, OutOfCoreTrainer
+
+__all__ = [
+    "EncodedBatch",
+    "OOCTrainReport",
+    "OutOfCoreTrainer",
+    "ShardInfo",
+    "ShardedDataset",
+    "encode_batches",
+    "prefetch_iter",
+    "resolve_executor",
+    "resolve_workers",
+]

@@ -1,0 +1,110 @@
+"""Multi-worker shard encode pipeline.
+
+Encoding is the expensive, embarrassingly-parallel half of the out-of-core
+story: every mini-batch is compressed exactly once (shuffle-once discipline)
+and the per-batch ``TOCMatrix.encode`` calls share nothing, so they fan out
+cleanly over a ``concurrent.futures`` executor.  Workers return serialised
+payload bytes (via ``to_bytes``), which is both what gets written to the
+shard files and the only thing that has to cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Valid values for the ``executor`` argument of :func:`encode_batches`.
+EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class EncodedBatch:
+    """One mini-batch after compression: id, payload bytes, and shape."""
+
+    batch_id: int
+    payload: bytes
+    n_rows: int
+    n_cols: int
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+
+def _encode_one(task: tuple[int, np.ndarray, str]) -> EncodedBatch:
+    """Worker body: compress one batch with the named scheme.
+
+    Top-level function so it pickles cleanly into ``ProcessPoolExecutor``
+    workers; the scheme is looked up by name inside the worker for the same
+    reason (scheme objects need not be picklable).
+    """
+    from repro.compression.registry import get_scheme
+
+    batch_id, features, scheme_name = task
+    compressed = get_scheme(scheme_name).compress(features)
+    return EncodedBatch(
+        batch_id=batch_id,
+        payload=compressed.to_bytes(),
+        n_rows=int(features.shape[0]),
+        n_cols=int(features.shape[1]),
+    )
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Default worker count: one per core (at least 1)."""
+    if workers is not None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        return workers
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_executor(executor: str, workers: int) -> str:
+    """Map ``"auto"`` to a concrete executor kind for this machine."""
+    if executor not in EXECUTOR_KINDS:
+        raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}")
+    if executor != "auto":
+        return executor
+    # Processes only pay off with real parallelism available and requested;
+    # encoding is pure-Python CPU work, so threads never beat serial.
+    if workers > 1 and (os.cpu_count() or 1) > 1:
+        return "process"
+    return "serial"
+
+
+def encode_batches(
+    feature_batches: list[np.ndarray],
+    scheme_name: str = "TOC",
+    *,
+    workers: int | None = None,
+    executor: str = "auto",
+) -> list[EncodedBatch]:
+    """Compress every batch with ``scheme_name``, fanning out over workers.
+
+    Results come back in batch order regardless of executor scheduling.
+    ``executor`` is one of ``"auto"`` (processes when multiple cores are
+    available), ``"serial"``, ``"thread"``, or ``"process"``.
+    """
+    n_workers = resolve_workers(workers)
+    kind = resolve_executor(executor, n_workers)
+    tasks = [
+        (batch_id, np.asarray(features, dtype=np.float64), scheme_name)
+        for batch_id, features in enumerate(feature_batches)
+    ]
+    if not tasks:
+        raise ValueError("at least one mini-batch is required")
+
+    if kind == "serial" or n_workers == 1:
+        return [_encode_one(task) for task in tasks]
+
+    pool_cls = ProcessPoolExecutor if kind == "process" else ThreadPoolExecutor
+    chunksize = max(1, len(tasks) // (4 * n_workers)) if kind == "process" else 1
+    with pool_cls(max_workers=n_workers) as pool:
+        if kind == "process":
+            encoded = list(pool.map(_encode_one, tasks, chunksize=chunksize))
+        else:
+            encoded = list(pool.map(_encode_one, tasks))
+    return encoded

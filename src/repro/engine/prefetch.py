@@ -1,0 +1,52 @@
+"""Read-ahead prefetching for the streaming epoch loop.
+
+While the SGD step runs on mini-batch *k*, a single worker thread is already
+reading and decoding mini-batch *k+1* (and up to ``depth`` batches ahead), so
+disk latency and decode time hide behind compute.  Every fetch runs on that
+one worker thread — the consumer only awaits futures — which keeps the
+underlying :class:`~repro.storage.buffer_pool.BufferPool` effectively
+single-threaded without needing locks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+
+def prefetch_iter(
+    fetch: Callable[[int], object],
+    keys: Sequence[int],
+    depth: int = 2,
+) -> Iterator[object]:
+    """Yield ``fetch(key)`` for every key, reading up to ``depth`` ahead.
+
+    ``depth <= 0`` disables read-ahead and degenerates to a plain map, which
+    is useful as a control in benchmarks.
+    """
+    if depth <= 0:
+        for key in keys:
+            yield fetch(key)
+        return
+
+    executor = ThreadPoolExecutor(max_workers=1)
+    try:
+        pending: deque = deque()
+        key_iter = iter(keys)
+        for key in key_iter:
+            pending.append(executor.submit(fetch, key))
+            if len(pending) >= depth:
+                break
+        for key in key_iter:
+            # One result out, one fetch in: the window stays `depth` deep.
+            result = pending.popleft().result()
+            pending.append(executor.submit(fetch, key))
+            yield result
+        while pending:
+            yield pending.popleft().result()
+    finally:
+        # wait=True: at most one fetch is in flight, and letting it finish
+        # keeps the (lock-free) buffer pool from being mutated by an orphaned
+        # thread after the consumer has moved on; queued fetches are cancelled.
+        executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,198 @@
+"""On-disk shard store for compressed mini-batches.
+
+A sharded dataset is a directory holding one blob file per compressed
+mini-batch plus a JSON manifest and the label vectors:
+
+.. code-block:: text
+
+    shards/
+      manifest.json     # scheme, shard table, encode provenance
+      labels.npz        # one label array per batch
+      shard-00000.bin   # serialised compressed batch 0
+      shard-00001.bin   # ...
+
+Blob files hold exactly what ``CompressedMatrix.to_bytes`` produced, so any
+registered scheme round-trips through its own ``decompress_bytes``.  The
+store is deliberately dumb — durability and layout live here, while caching
+policy stays in :class:`repro.storage.buffer_pool.BufferPool`, which shards
+attach to as lazy :class:`~repro.storage.buffer_pool.DiskBlob` entries.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.encode import EncodedBatch, encode_batches, resolve_executor, resolve_workers
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pages import stored_bytes
+from repro.storage.table import BlobTable
+
+MANIFEST_NAME = "manifest.json"
+LABELS_NAME = "labels.npz"
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Manifest row describing one shard file."""
+
+    batch_id: int
+    filename: str
+    nbytes: int
+    n_rows: int
+    n_cols: int
+
+
+class ShardedDataset:
+    """A directory of compressed mini-batch shards plus manifest and labels."""
+
+    def __init__(
+        self,
+        directory: Path,
+        scheme_name: str,
+        shards: list[ShardInfo],
+        labels: dict[int, np.ndarray],
+        encode_seconds: float = 0.0,
+    ):
+        self.directory = Path(directory)
+        self.scheme_name = scheme_name
+        self.shards = list(shards)
+        self._labels = labels
+        self.encode_seconds = encode_seconds
+
+    # -- creation -------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Path | str,
+        batches: list[tuple[np.ndarray, np.ndarray]],
+        scheme_name: str = "TOC",
+        *,
+        workers: int | None = None,
+        executor: str = "auto",
+    ) -> "ShardedDataset":
+        """Encode ``(features, labels)`` batches in parallel and persist them."""
+        if not batches:
+            raise ValueError("at least one mini-batch is required")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+
+        start = time.perf_counter()
+        encoded = encode_batches(
+            [features for features, _ in batches],
+            scheme_name,
+            workers=workers,
+            executor=executor,
+        )
+        encode_seconds = time.perf_counter() - start
+
+        shards: list[ShardInfo] = []
+        labels: dict[int, np.ndarray] = {}
+        label_arrays: dict[str, np.ndarray] = {}
+        for enc, (_, batch_labels) in zip(encoded, batches):
+            info = cls._write_shard(directory, enc)
+            shards.append(info)
+            labels[enc.batch_id] = np.asarray(batch_labels)
+            label_arrays[f"y{enc.batch_id:05d}"] = labels[enc.batch_id]
+
+        np.savez(directory / LABELS_NAME, **label_arrays)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "scheme": scheme_name,
+            "encode_seconds": encode_seconds,
+            # Provenance: the executor actually used, not the requested kind
+            # ("auto" resolves differently per machine).
+            "encode_executor": resolve_executor(executor, resolve_workers(workers)),
+            "shards": [vars(s) for s in shards],
+        }
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        return cls(directory, scheme_name, shards, labels, encode_seconds)
+
+    @staticmethod
+    def _write_shard(directory: Path, enc: EncodedBatch) -> ShardInfo:
+        filename = f"shard-{enc.batch_id:05d}.bin"
+        (directory / filename).write_bytes(enc.payload)
+        return ShardInfo(
+            batch_id=enc.batch_id,
+            filename=filename,
+            nbytes=enc.nbytes,
+            n_rows=enc.n_rows,
+            n_cols=enc.n_cols,
+        )
+
+    @classmethod
+    def open(cls, directory: Path | str) -> "ShardedDataset":
+        """Load an existing shard directory from its manifest."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no shard manifest at {manifest_path}")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported shard format {manifest.get('format_version')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        shards = [ShardInfo(**row) for row in manifest["shards"]]
+        with np.load(directory / LABELS_NAME) as archive:
+            labels = {s.batch_id: archive[f"y{s.batch_id:05d}"] for s in shards}
+        return cls(
+            directory,
+            manifest["scheme"],
+            shards,
+            labels,
+            encode_seconds=float(manifest.get("encode_seconds", 0.0)),
+        )
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def read_payload(self, batch_id: int) -> bytes:
+        """Read one shard's bytes straight from disk (no caching)."""
+        return (self.directory / self.shards[batch_id].filename).read_bytes()
+
+    def labels_for(self, batch_id: int) -> np.ndarray:
+        return self._labels[batch_id]
+
+    def attach(self, pool: BufferPool) -> None:
+        """Register every shard in ``pool`` as a lazy on-disk blob."""
+        for shard in self.shards:
+            path = self.directory / shard.filename
+            pool.put_on_disk(shard.batch_id, size=shard.nbytes, loader=path.read_bytes)
+
+    def as_blob_table(self, pool: BufferPool, scheme) -> BlobTable:
+        """Expose the shards as a Bismarck-style blob table over ``pool``."""
+        table = BlobTable(scheme, pool)
+        for shard in self.shards:
+            path = self.directory / shard.filename
+            table.add_encoded(
+                shard.batch_id,
+                self._labels[shard.batch_id],
+                size=shard.nbytes,
+                loader=path.read_bytes,
+            )
+        return table
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def n_examples(self) -> int:
+        return sum(s.n_rows for s in self.shards)
+
+    def payload_sizes(self) -> list[int]:
+        return [s.nbytes for s in self.shards]
+
+    def total_payload_bytes(self) -> int:
+        return sum(self.payload_sizes())
+
+    def physical_bytes(self) -> int:
+        """On-disk size after page layout (includes the fudge factor)."""
+        return stored_bytes(self.payload_sizes())

@@ -1,0 +1,207 @@
+"""Epoch-level out-of-core training driver.
+
+The trainer wires the whole data path together: mini-batches are sharded to
+disk through the parallel encode pipeline (:mod:`repro.engine.encode` /
+:mod:`repro.engine.shards`), served through a byte-budgeted
+:class:`~repro.storage.buffer_pool.BufferPool`, decoded with read-ahead
+prefetch (:mod:`repro.engine.prefetch`), and stepped through the existing
+:class:`~repro.ml.optimizer.MiniBatchGradientDescent` loop — so any model in
+:mod:`repro.ml.models` trains unchanged over datasets larger than memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression.registry import get_scheme
+from repro.data.minibatch import split_minibatches
+from repro.engine.encode import resolve_executor, resolve_workers
+from repro.engine.prefetch import prefetch_iter
+from repro.engine.shards import ShardedDataset
+from repro.ml.optimizer import GradientDescentConfig, MiniBatchGradientDescent, TrainingHistory
+from repro.storage.arena import ModelArena
+from repro.storage.bismarck import BismarckSession
+from repro.storage.buffer_pool import BufferPool, BufferPoolStats
+
+
+@dataclass
+class OOCTrainReport:
+    """Result of one out-of-core training run."""
+
+    history: TrainingHistory
+    encode_seconds: float
+    epoch_io_seconds: list[float] = field(default_factory=list)
+    pool_stats: BufferPoolStats = field(default_factory=BufferPoolStats)
+    budget_bytes: int = 0
+    total_payload_bytes: int = 0
+    physical_bytes: int = 0
+
+    @property
+    def fits_in_memory(self) -> bool:
+        return self.total_payload_bytes <= self.budget_bytes
+
+    @property
+    def final_loss(self) -> float:
+        return self.history.final_loss
+
+    @property
+    def total_io_seconds(self) -> float:
+        return float(sum(self.epoch_io_seconds))
+
+
+class OutOfCoreTrainer:
+    """Stream TOC-compressed shards from disk through the MGD loop.
+
+    Parameters
+    ----------
+    scheme_name:
+        Compression scheme for the shards (any registered scheme; TOC is the
+        point of the paper).
+    config:
+        MGD hyper-parameters (batch size, epochs, learning rate, seed).
+    budget_bytes / budget_ratio:
+        Buffer-pool size.  An explicit byte budget wins; otherwise the pool
+        is sized to ``budget_ratio`` of the total shard payload, and the
+        default of 0.5 deliberately makes the dataset *not* fit so the run
+        actually exercises the out-of-core path.
+    workers / executor:
+        Encode fan-out (see :func:`repro.engine.encode.encode_batches`).
+    prefetch_depth:
+        How many mini-batches the read-ahead thread keeps in flight.
+    """
+
+    def __init__(
+        self,
+        scheme_name: str = "TOC",
+        config: GradientDescentConfig | None = None,
+        *,
+        budget_bytes: int | None = None,
+        budget_ratio: float = 0.5,
+        disk_bandwidth_bytes_per_sec: float = 150e6,
+        prefetch_depth: int = 2,
+        workers: int | None = None,
+        executor: str = "auto",
+    ):
+        if budget_bytes is None and budget_ratio <= 0:
+            raise ValueError("budget_ratio must be positive")
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        resolve_executor(executor, resolve_workers(workers))  # fail fast on bad knobs
+        self.scheme = get_scheme(scheme_name)
+        self.config = config or GradientDescentConfig()
+        self.budget_bytes = budget_bytes
+        self.budget_ratio = budget_ratio
+        self.disk_bandwidth_bytes_per_sec = disk_bandwidth_bytes_per_sec
+        self.prefetch_depth = prefetch_depth
+        self.workers = workers
+        self.executor = executor
+        self.dataset: ShardedDataset | None = None
+        self.pool: BufferPool | None = None
+
+    # -- preparation -----------------------------------------------------------
+
+    def shard(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        shard_dir: Path | str,
+    ) -> ShardedDataset:
+        """Shuffle once, split, and persist compressed shards to ``shard_dir``."""
+        batches = split_minibatches(
+            features,
+            labels,
+            batch_size=self.config.batch_size,
+            shuffle=True,
+            seed=self.config.shuffle_seed,
+        )
+        dataset = ShardedDataset.create(
+            shard_dir,
+            batches,
+            self.scheme.name,
+            workers=self.workers,
+            executor=self.executor,
+        )
+        self.attach(dataset)
+        return dataset
+
+    def attach(self, dataset: ShardedDataset) -> BufferPool:
+        """Attach an existing shard directory behind a fresh buffer pool."""
+        if dataset.scheme_name != self.scheme.name:
+            raise ValueError(
+                f"shards were encoded with {dataset.scheme_name!r} but this trainer "
+                f"decodes {self.scheme.name!r}"
+            )
+        budget = self.budget_bytes
+        if budget is None:
+            budget = max(1, int(self.budget_ratio * dataset.total_payload_bytes()))
+        pool = BufferPool(
+            budget_bytes=budget,
+            disk_bandwidth_bytes_per_sec=self.disk_bandwidth_bytes_per_sec,
+        )
+        dataset.attach(pool)
+        self.dataset = dataset
+        self.pool = pool
+        return pool
+
+    # -- training ----------------------------------------------------------------
+
+    def _fetch(self, batch_id: int):
+        payload = self.pool.read(batch_id)
+        return self.scheme.decompress_bytes(payload), self.dataset.labels_for(batch_id)
+
+    def train(self, model, eval_fn=None) -> OOCTrainReport:
+        """Run the configured epochs, streaming shards with read-ahead."""
+        if self.dataset is None or self.pool is None:
+            raise RuntimeError("call shard() or attach() before train()")
+        dataset, pool = self.dataset, self.pool
+        keys = range(len(dataset))
+        io_checkpoints: list[float] = []
+
+        def epoch_batches():
+            io_checkpoints.append(pool.stats.simulated_io_seconds)
+            return prefetch_iter(self._fetch, keys, depth=self.prefetch_depth)
+
+        optimizer = MiniBatchGradientDescent(self.config)
+        history = optimizer.train_streaming(model, epoch_batches, eval_fn=eval_fn)
+
+        io_checkpoints.append(pool.stats.simulated_io_seconds)
+        return OOCTrainReport(
+            history=history,
+            encode_seconds=dataset.encode_seconds,
+            epoch_io_seconds=[b - a for a, b in zip(io_checkpoints, io_checkpoints[1:])],
+            # Snapshot, not alias: the pool keeps counting if the trainer is
+            # reused, and earlier reports must not change under the caller.
+            pool_stats=replace(pool.stats),
+            budget_bytes=pool.budget_bytes,
+            total_payload_bytes=dataset.total_payload_bytes(),
+            physical_bytes=dataset.physical_bytes(),
+        )
+
+    def fit(
+        self,
+        model,
+        features: np.ndarray,
+        labels: np.ndarray,
+        shard_dir: Path | str,
+        eval_fn=None,
+    ) -> OOCTrainReport:
+        """Convenience wrapper: shard to disk, then train."""
+        self.shard(features, labels, shard_dir)
+        return self.train(model, eval_fn=eval_fn)
+
+    # -- Bismarck integration ----------------------------------------------------
+
+    def bismarck_session(self, arena: ModelArena | None = None) -> BismarckSession:
+        """Wrap the attached shards in a Bismarck-style in-database session.
+
+        The session's UDF-style epoch runner then reads the same shard files
+        through the same buffer pool, which is how the in-RDBMS experiments
+        reuse shards produced by the parallel encode pipeline.
+        """
+        if self.dataset is None or self.pool is None:
+            raise RuntimeError("call shard() or attach() before bismarck_session()")
+        table = self.dataset.as_blob_table(self.pool, self.scheme)
+        return BismarckSession(self.scheme, self.pool, arena=arena, table=table)

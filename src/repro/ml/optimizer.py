@@ -120,6 +120,41 @@ class MiniBatchGradientDescent:
             learning_rate *= self.config.learning_rate_decay
         return history
 
+    def train_streaming(
+        self,
+        model,
+        epoch_batches,
+        eval_fn=None,
+    ) -> TrainingHistory:
+        """Run the configured epochs over a re-creatable stream of batches.
+
+        ``epoch_batches()`` is called once per epoch and must return an
+        iterable of ``(batch, targets)`` pairs.  Unlike :meth:`train`, the
+        per-batch loss is recorded during the pass itself (right after the
+        gradient step) instead of in a second sweep — a second sweep would
+        double the IO for out-of-core streams, which is exactly what this
+        entry point exists to serve.
+        """
+        history = TrainingHistory()
+        learning_rate = self.config.learning_rate
+        for _epoch in range(self.config.epochs):
+            start = time.perf_counter()
+            losses: list[float] = []
+            n_batches = 0
+            for batch, targets in epoch_batches():
+                model.gradient_step(batch, targets, learning_rate)
+                losses.append(model.loss(batch, targets))
+                n_batches += 1
+            elapsed = time.perf_counter() - start
+            if n_batches == 0:
+                raise ValueError("epoch_batches() produced no mini-batches")
+            history.epoch_losses.append(float(np.mean(losses)))
+            history.epoch_times.append(elapsed)
+            if eval_fn is not None:
+                history.epoch_metrics.append(float(eval_fn(model)))
+            learning_rate *= self.config.learning_rate_decay
+        return history
+
     def fit(
         self,
         model,

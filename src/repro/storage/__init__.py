@@ -14,7 +14,7 @@ The paper's end-to-end experiments hinge on two storage-level effects:
 
 from repro.storage.arena import ModelArena
 from repro.storage.bismarck import BismarckSession
-from repro.storage.buffer_pool import BufferPool, BufferPoolStats
+from repro.storage.buffer_pool import BufferPool, BufferPoolStats, DiskBlob
 from repro.storage.pages import Page, PAGE_SIZE_BYTES
 from repro.storage.table import BlobTable
 
@@ -23,6 +23,7 @@ __all__ = [
     "BlobTable",
     "BufferPool",
     "BufferPoolStats",
+    "DiskBlob",
     "ModelArena",
     "PAGE_SIZE_BYTES",
     "Page",

@@ -77,8 +77,9 @@ class BismarckSession:
         scheme: CompressionScheme,
         buffer_pool: BufferPool,
         arena: ModelArena | None = None,
+        table: BlobTable | None = None,
     ):
-        self.table = BlobTable(scheme, buffer_pool)
+        self.table = table if table is not None else BlobTable(scheme, buffer_pool)
         self.arena = arena or ModelArena()
 
     # -- setup -----------------------------------------------------------------

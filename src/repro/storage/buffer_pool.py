@@ -14,12 +14,31 @@ every epoch.  The buffer pool makes that mechanism explicit and measurable:
 Eviction is LRU, which against MGD's cyclic access pattern produces the
 worst-case behaviour the paper describes: once the working set exceeds the
 budget, effectively every access misses.
+
+Entries come in two flavours.  A plain ``bytes`` payload models a blob whose
+"disk" is simulated (the original behaviour, used by the simulation benches).
+A :class:`DiskBlob` is a handle to a payload that truly lives on disk — the
+out-of-core engine registers one per shard file — and is only loaded into
+memory when admitted to the cache, so the pool's byte budget genuinely bounds
+resident memory.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DiskBlob:
+    """Handle to a payload that lives on real disk and is loaded on demand."""
+
+    size: int
+    loader: Callable[[], bytes]
+
+    def __len__(self) -> int:
+        return self.size
 
 
 @dataclass
@@ -63,15 +82,42 @@ class BufferPool:
             raise ValueError("budget_bytes must be positive")
         if self.disk_bandwidth_bytes_per_sec <= 0:
             raise ValueError("disk_bandwidth_bytes_per_sec must be positive")
-        self._store: dict[int, bytes] = {}
+        self._store: dict[int, bytes | DiskBlob] = {}
         self._cache: OrderedDict[int, int] = OrderedDict()  # key -> size
+        self._resident: dict[int, bytes] = {}  # cached payloads of DiskBlob entries
         self._cached_bytes = 0
 
     # -- population -----------------------------------------------------------
 
-    def put_on_disk(self, key: int, payload: bytes) -> None:
-        """Register a batch as residing on disk (not yet cached)."""
-        self._store[key] = payload
+    def put_on_disk(
+        self,
+        key: int,
+        payload: bytes | None = None,
+        *,
+        size: int | None = None,
+        loader: Callable[[], bytes] | None = None,
+    ) -> None:
+        """Register a batch as residing on disk (not yet cached).
+
+        Either pass ``payload`` (simulated disk: the bytes are kept around and
+        misses only charge simulated IO), or ``size`` + ``loader`` for a blob
+        that truly lives on disk and is read through ``loader`` on a miss.
+        """
+        if payload is not None:
+            if size is not None or loader is not None:
+                raise ValueError("pass either payload or size+loader, not both")
+            entry: bytes | DiskBlob = payload
+        else:
+            if size is None or loader is None:
+                raise ValueError("lazy entries need both size and loader")
+            if size < 0:
+                raise ValueError("size must be non-negative")
+            entry = DiskBlob(size=int(size), loader=loader)
+        # Re-registration replaces the payload, so any cached copy is stale.
+        if key in self._cache:
+            self._cached_bytes -= self._cache.pop(key)
+            self._resident.pop(key, None)
+        self._store[key] = entry
 
     def __contains__(self, key: int) -> bool:
         return key in self._store
@@ -91,29 +137,33 @@ class BufferPool:
         """Read a batch, going through the cache and charging IO on a miss."""
         if key not in self._store:
             raise KeyError(f"batch {key} was never stored")
-        payload = self._store[key]
+        entry = self._store[key]
         if key in self._cache:
             self.stats.hits += 1
             self._cache.move_to_end(key)
-            return payload
+            return self._resident[key] if isinstance(entry, DiskBlob) else entry
         # Miss: charge simulated disk IO, then admit to the cache.
+        payload = entry.loader() if isinstance(entry, DiskBlob) else entry
         self.stats.misses += 1
         self.stats.bytes_read_from_disk += len(payload)
         self.stats.simulated_io_seconds += len(payload) / self.disk_bandwidth_bytes_per_sec
-        self._admit(key, len(payload))
+        self._admit(key, payload, keep_resident=isinstance(entry, DiskBlob))
         return payload
 
-    def _admit(self, key: int, size: int) -> None:
+    def _admit(self, key: int, payload: bytes, keep_resident: bool) -> None:
+        size = len(payload)
         if size > self.budget_bytes:
             # The batch alone exceeds the budget; it can never be cached.
             return
         while self._cached_bytes + size > self.budget_bytes:
             evicted_key, evicted_size = self._cache.popitem(last=False)
             self._cached_bytes -= evicted_size
+            self._resident.pop(evicted_key, None)
             self.stats.evictions += 1
-            del evicted_key
         self._cache[key] = size
         self._cached_bytes += size
+        if keep_resident:
+            self._resident[key] = payload
 
     # -- convenience ----------------------------------------------------------
 

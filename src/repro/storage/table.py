@@ -32,10 +32,32 @@ class BlobTable:
         """Compress and store ``(features, labels)`` mini-batches."""
         for batch_id, (features, labels) in enumerate(batches):
             compressed = self.scheme.compress(features)
-            payload = compressed.to_bytes()
+            self.add_encoded(batch_id, labels, payload=compressed.to_bytes())
+
+    def add_encoded(
+        self,
+        batch_id: int,
+        labels: np.ndarray,
+        *,
+        payload: bytes | None = None,
+        size: int | None = None,
+        loader=None,
+    ) -> None:
+        """Store one already-encoded row (bytes, or a lazy on-disk blob).
+
+        This is how the out-of-core engine attaches shard files produced by
+        its parallel encode pipeline: it passes ``size`` + ``loader`` so the
+        blob bytes stay on disk until the buffer pool admits them.
+        """
+        if payload is not None:
             self.buffer_pool.put_on_disk(batch_id, payload)
-            self._labels[batch_id] = np.asarray(labels)
             self._blob_sizes[batch_id] = len(payload)
+        else:
+            if size is None or loader is None:
+                raise ValueError("lazy rows need both size and loader")
+            self.buffer_pool.put_on_disk(batch_id, size=size, loader=loader)
+            self._blob_sizes[batch_id] = int(size)
+        self._labels[batch_id] = np.asarray(labels)
 
     def __len__(self) -> int:
         return len(self._labels)

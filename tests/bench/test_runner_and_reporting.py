@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench.reporting import format_series, format_table
@@ -84,3 +83,37 @@ class TestReporting:
         lines = format_table("T", rows, ["x"]).splitlines()
         data_lines = [line for line in lines if "|" in line]
         assert len({line.index("|") for line in data_lines}) == 1
+
+
+class TestBenchJSON:
+    def test_write_bench_json_round_trip(self, tmp_path):
+        import json
+
+        from repro.bench.runner import BENCH_JSON_VERSION, bench_json_path, write_bench_json
+
+        records = [{"bench": "encode", "median_seconds": 0.5}, {"bench": "train", "loss": 1.0}]
+        path = write_bench_json("unit", records, directory=tmp_path)
+        assert path == bench_json_path("unit", tmp_path)
+        assert path.name == "BENCH_unit.json"
+
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BENCH_JSON_VERSION
+        assert payload["records"] == records
+        assert payload["platform"]["cpu_count"] >= 1
+
+    def test_write_bench_json_accepts_dataclasses(self, tmp_path):
+        import json
+
+        from repro.bench.runner import write_bench_json
+
+        measurement = measure_compression("CSR", minibatch_for("census", 32, seed=0))
+        path = write_bench_json("dc", [measurement], directory=tmp_path)
+        record = json.loads(path.read_text())["records"][0]
+        assert record["scheme"] == "CSR"
+        assert record["compressed_bytes"] > 0
+
+    def test_bench_json_dir_env_controls_default(self, tmp_path, monkeypatch):
+        from repro.bench.runner import BENCH_JSON_DIR_ENV, bench_json_path
+
+        monkeypatch.setenv(BENCH_JSON_DIR_ENV, str(tmp_path / "out"))
+        assert bench_json_path("x") == tmp_path / "out" / "BENCH_x.json"

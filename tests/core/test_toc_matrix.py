@@ -111,3 +111,12 @@ class TestTOCMatrixOnExtremeData:
     def test_rejects_non_2d_input(self):
         with pytest.raises(ValueError):
             TOCMatrix.encode(np.ones(5))
+
+
+class TestEncodeToBytes:
+    def test_round_trips_through_from_bytes(self, census_batch):
+        raw = TOCMatrix.encode_to_bytes(census_batch)
+        assert isinstance(raw, bytes)
+        restored = TOCMatrix.from_bytes(raw)
+        np.testing.assert_allclose(restored.to_dense(), census_batch)
+        assert restored.to_bytes() == raw

@@ -95,3 +95,36 @@ class TestMiniBatchIterator:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             MiniBatchIterator([])
+
+
+class TestIterMinibatchSlices:
+    def test_slices_partition_all_rows(self):
+        from repro.data.minibatch import iter_minibatch_slices
+
+        slices = list(iter_minibatch_slices(103, 25, seed=4))
+        assert [len(s) for s in slices] == [25, 25, 25, 25, 3]
+        assert sorted(np.concatenate(slices)) == list(range(103))
+
+    def test_matches_split_minibatches(self):
+        from repro.data.minibatch import iter_minibatch_slices
+
+        features = np.arange(120, dtype=np.float64).reshape(60, 2)
+        batches = split_minibatches(features, batch_size=16, seed=9)
+        slices = list(iter_minibatch_slices(60, 16, seed=9))
+        assert len(batches) == len(slices)
+        for (bx, _), idx in zip(batches, slices):
+            assert np.array_equal(bx, features[idx])
+
+    def test_drop_last_and_validation(self):
+        from repro.data.minibatch import iter_minibatch_slices
+
+        assert [len(s) for s in iter_minibatch_slices(10, 4, drop_last=True)] == [4, 4]
+        with pytest.raises(ValueError):
+            list(iter_minibatch_slices(0, 4))
+        with pytest.raises(ValueError):
+            list(iter_minibatch_slices(10, 0))
+
+    def test_split_minibatches_keeps_empty_input_behaviour(self):
+        # Zero rows returns an empty list (as before the slice refactor),
+        # even though iter_minibatch_slices itself rejects n_rows == 0.
+        assert split_minibatches(np.empty((0, 5))) == []

@@ -1,0 +1,136 @@
+"""Tests for the shard encode pipeline and the on-disk shard store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.registry import get_scheme
+from repro.data.registry import DATASET_PROFILES
+from repro.engine.encode import encode_batches, resolve_executor, resolve_workers
+from repro.engine.prefetch import prefetch_iter
+from repro.engine.shards import ShardedDataset
+from repro.storage.buffer_pool import BufferPool
+
+
+@pytest.fixture(scope="module")
+def small_batches():
+    features, labels = DATASET_PROFILES["census"].classification(240, seed=7)
+    split = np.array_split(np.arange(features.shape[0]), 4)
+    return [(features[idx], labels[idx]) for idx in split]
+
+
+class TestEncodePipeline:
+    def test_serial_encode_round_trips(self, small_batches):
+        encoded = encode_batches([x for x, _ in small_batches], "TOC", executor="serial")
+        scheme = get_scheme("TOC")
+        for enc, (features, _) in zip(encoded, small_batches):
+            decoded = scheme.decompress_bytes(enc.payload).to_dense()
+            np.testing.assert_allclose(decoded, features)
+
+    def test_thread_and_serial_payloads_identical(self, small_batches):
+        feats = [x for x, _ in small_batches]
+        serial = encode_batches(feats, "TOC", executor="serial")
+        threaded = encode_batches(feats, "TOC", workers=2, executor="thread")
+        assert [e.payload for e in serial] == [e.payload for e in threaded]
+        assert [e.batch_id for e in threaded] == list(range(len(feats)))
+
+    def test_process_payloads_identical(self, small_batches):
+        feats = [x for x, _ in small_batches]
+        serial = encode_batches(feats, "TOC", executor="serial")
+        procs = encode_batches(feats, "TOC", workers=2, executor="process")
+        assert [e.payload for e in serial] == [e.payload for e in procs]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            encode_batches([], "TOC")
+
+    def test_bad_executor_rejected(self, small_batches):
+        with pytest.raises(ValueError):
+            encode_batches([small_batches[0][0]], "TOC", executor="gpu")
+
+    def test_worker_resolution(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        assert resolve_executor("serial", 8) == "serial"
+        assert resolve_executor("auto", 1) == "serial"
+
+
+class TestShardedDataset:
+    def test_create_open_round_trip(self, tmp_path, small_batches):
+        created = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        reopened = ShardedDataset.open(tmp_path)
+        assert reopened.scheme_name == "TOC"
+        assert len(reopened) == len(small_batches)
+        assert reopened.payload_sizes() == created.payload_sizes()
+        assert reopened.n_examples == sum(x.shape[0] for x, _ in small_batches)
+
+        scheme = get_scheme("TOC")
+        for batch_id, (features, labels) in enumerate(small_batches):
+            decoded = scheme.decompress_bytes(reopened.read_payload(batch_id)).to_dense()
+            np.testing.assert_allclose(decoded, features)
+            np.testing.assert_array_equal(reopened.labels_for(batch_id), labels)
+
+    def test_physical_bytes_include_fudge_factor(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        assert dataset.physical_bytes() >= dataset.total_payload_bytes()
+
+    def test_open_missing_directory_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ShardedDataset.open(tmp_path / "nope")
+
+    def test_attach_serves_bytes_through_pool(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        pool = BufferPool(budget_bytes=10 * dataset.total_payload_bytes())
+        dataset.attach(pool)
+        for batch_id in range(len(dataset)):
+            assert pool.read(batch_id) == dataset.read_payload(batch_id)
+        # Everything fits: the second epoch is all hits.
+        for batch_id in range(len(dataset)):
+            pool.read(batch_id)
+        assert pool.stats.hits == len(dataset)
+        assert pool.stats.misses == len(dataset)
+
+    def test_pool_smaller_than_shard_set_evicts_and_rereads(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        sizes = dataset.payload_sizes()
+        # Room for roughly two shards: the cyclic scan must keep missing.
+        pool = BufferPool(budget_bytes=sizes[0] + sizes[1] + 1)
+        dataset.attach(pool)
+        epochs = 3
+        for _ in range(epochs):
+            for batch_id in range(len(dataset)):
+                assert pool.read(batch_id) == dataset.read_payload(batch_id)
+        assert pool.stats.evictions > 0
+        assert pool.stats.misses > len(dataset)  # later epochs still miss
+        assert pool.cached_bytes <= pool.budget_bytes
+        assert pool.stats.bytes_read_from_disk > dataset.total_payload_bytes()
+
+    def test_as_blob_table_reads_decoded_batches(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        pool = BufferPool(budget_bytes=10 * dataset.total_payload_bytes())
+        table = dataset.as_blob_table(pool, get_scheme("TOC"))
+        assert len(table) == len(dataset)
+        for batch_id, (compressed, labels) in enumerate(table.iter_batches()):
+            np.testing.assert_allclose(compressed.to_dense(), small_batches[batch_id][0])
+            np.testing.assert_array_equal(labels, small_batches[batch_id][1])
+
+
+class TestPrefetchIter:
+    def test_preserves_order(self):
+        out = list(prefetch_iter(lambda i: i * i, range(10), depth=3))
+        assert out == [i * i for i in range(10)]
+
+    def test_depth_larger_than_sequence(self):
+        assert list(prefetch_iter(lambda i: i, range(2), depth=8)) == [0, 1]
+
+    def test_zero_depth_degenerates_to_map(self):
+        assert list(prefetch_iter(lambda i: -i, range(4), depth=0)) == [0, -1, -2, -3]
+
+    def test_early_break_does_not_hang(self):
+        for value in prefetch_iter(lambda i: i, range(100), depth=4):
+            if value == 3:
+                break
+        assert value == 3

@@ -117,3 +117,37 @@ class TestMiniBatchGradientDescent:
             model = LogisticRegressionModel(features.shape[1], seed=0)
             history = MiniBatchGradientDescent(config).fit(model, features, labels)
             assert history.epoch_losses[-1] <= history.epoch_losses[0]
+
+
+class TestTrainStreaming:
+    def test_streaming_matches_list_training(self, dataset):
+        """Same batches through train() and train_streaming(): same parameters."""
+        features, labels = dataset
+        config = GradientDescentConfig(batch_size=50, epochs=3, learning_rate=0.1)
+        mgd = MiniBatchGradientDescent(config)
+        batches = mgd.prepare_batches(features, labels)
+
+        by_list = LogisticRegressionModel(features.shape[1], seed=0)
+        mgd.train(by_list, batches)
+
+        by_stream = LogisticRegressionModel(features.shape[1], seed=0)
+        history = mgd.train_streaming(by_stream, lambda: iter(batches))
+
+        assert np.allclose(by_list.get_parameters(), by_stream.get_parameters())
+        assert len(history.epoch_losses) == config.epochs
+        assert history.epoch_losses[-1] <= history.epoch_losses[0]
+
+    def test_streaming_records_eval_metrics(self, dataset):
+        features, labels = dataset
+        config = GradientDescentConfig(batch_size=50, epochs=2, learning_rate=0.1)
+        mgd = MiniBatchGradientDescent(config)
+        batches = mgd.prepare_batches(features, labels)
+        model = LogisticRegressionModel(features.shape[1], seed=0)
+        history = mgd.train_streaming(model, lambda: iter(batches), eval_fn=lambda m: 0.25)
+        assert history.epoch_metrics == [0.25, 0.25]
+
+    def test_streaming_rejects_empty_epoch(self, dataset):
+        features, _ = dataset
+        mgd = MiniBatchGradientDescent(GradientDescentConfig(epochs=1))
+        with pytest.raises(ValueError):
+            mgd.train_streaming(LogisticRegressionModel(features.shape[1]), lambda: iter([]))

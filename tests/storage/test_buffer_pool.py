@@ -117,3 +117,73 @@ class TestHitRate:
         pool.read(0)
         pool.read(0)
         assert pool.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestLazyDiskEntries:
+    """Loader-backed entries: payload bytes live on real disk until admitted."""
+
+    def test_loader_called_on_miss_only(self):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return b"x" * 40
+
+        pool = BufferPool(budget_bytes=1000)
+        pool.put_on_disk(0, size=40, loader=loader)
+        assert pool.read(0) == b"x" * 40
+        assert pool.read(0) == b"x" * 40  # hit: served from the cache
+        assert len(calls) == 1
+        assert pool.stats.hits == 1 and pool.stats.misses == 1
+
+    def test_evicted_lazy_entry_is_reloaded(self):
+        calls = []
+
+        def make_loader(key):
+            def loader():
+                calls.append(key)
+                return bytes([key]) * 60
+
+            return loader
+
+        pool = BufferPool(budget_bytes=100)  # fits one 60-byte blob at a time
+        for key in range(3):
+            pool.put_on_disk(key, size=60, loader=make_loader(key))
+        for _ in range(2):
+            for key in range(3):
+                assert pool.read(key) == bytes([key]) * 60
+        assert pool.stats.evictions > 0
+        assert len(calls) == pool.stats.misses == 6  # cyclic scan thrashes
+
+    def test_lazy_entry_counts_in_stored_bytes(self):
+        pool = BufferPool(budget_bytes=100)
+        pool.put_on_disk(0, size=75, loader=lambda: b"y" * 75)
+        assert pool.total_stored_bytes() == 75
+        assert 0 in pool
+
+    def test_oversized_lazy_entry_never_cached(self):
+        pool = BufferPool(budget_bytes=10)
+        pool.put_on_disk(0, size=50, loader=lambda: b"z" * 50)
+        pool.read(0)
+        pool.read(0)
+        assert pool.stats.misses == 2
+        assert pool.cached_bytes == 0
+
+    def test_invalid_argument_combinations_rejected(self):
+        pool = BufferPool(budget_bytes=10)
+        with pytest.raises(ValueError):
+            pool.put_on_disk(0, b"abc", size=3, loader=lambda: b"abc")
+        with pytest.raises(ValueError):
+            pool.put_on_disk(1, size=3)
+        with pytest.raises(ValueError):
+            pool.put_on_disk(2, loader=lambda: b"abc")
+
+    def test_reregistration_invalidates_cached_copy(self):
+        pool = BufferPool(budget_bytes=1000)
+        pool.put_on_disk(0, b"old payload")
+        assert pool.read(0) == b"old payload"  # now cached
+        pool.put_on_disk(0, size=3, loader=lambda: b"new")
+        assert pool.read(0) == b"new"  # miss: the stale cache entry was dropped
+        pool.put_on_disk(0, b"newer")
+        assert pool.read(0) == b"newer"
+        assert pool.cached_bytes == len(b"newer")

@@ -56,3 +56,29 @@ class TestParser:
         args = build_parser().parse_args(["advise"])
         assert args.dataset == "census"
         assert args.rows == 250
+
+
+class TestTrainOOCCommand:
+    def test_trains_out_of_core_and_reports_spill(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "train-ooc",
+                    "--dataset", "census",
+                    "--rows", "400",
+                    "--batch-size", "100",
+                    "--epochs", "2",
+                    "--executor", "serial",
+                    "--shard-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "does NOT fit" in out  # default budget ratio 0.5: dataset > pool
+        assert "pool stats:" in out
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_unknown_dataset_fails_cleanly(self, capsys):
+        assert main(["train-ooc", "--dataset", "criteo"]) == 2
+        assert "unknown dataset" in capsys.readouterr().out
