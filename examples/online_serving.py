@@ -1,0 +1,106 @@
+"""Train out-of-core, checkpoint, then serve online traffic — end to end.
+
+Run with::
+
+    python examples/online_serving.py
+
+The paper's trick — amortize decompression and linear algebra over a
+mini-batch — pays twice.  Training exploits it in the MGD loop; this example
+shows the serving side (:mod:`repro.serve`): the trained model is published
+to a version registry, single-row prediction requests from concurrent
+clients are coalesced by the micro-batcher into mini-batches over the same
+compressed shard files, and a small prediction LRU absorbs the hot keys.
+The closing table compares the same traffic served unbatched (batch size 1),
+micro-batched, and micro-batched with the cache on.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    GradientDescentConfig,
+    LogisticRegressionModel,
+    OutOfCoreTrainer,
+    PredictionService,
+)
+from repro.data.registry import DATASET_PROFILES
+
+ROWS = 2000
+BATCH_SIZE = 250
+REQUESTS = 1500
+CLIENTS = 8
+
+
+def drive(service: PredictionService, workload: np.ndarray) -> float:
+    """Issue the workload from concurrent clients; return wall seconds."""
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENTS) as clients:
+        list(clients.map(service.predict_id, workload))
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    features, labels = DATASET_PROFILES["census"].classification(ROWS, seed=3)
+    config = GradientDescentConfig(batch_size=BATCH_SIZE, epochs=3, learning_rate=0.3)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serving-") as tmp:
+        shard_dir = Path(tmp) / "shards"
+        registry_dir = Path(tmp) / "checkpoints"
+
+        # 1. Train out-of-core and publish the model to the registry.
+        trainer = OutOfCoreTrainer("TOC", config, budget_ratio=2.0)
+        model = LogisticRegressionModel(features.shape[1], seed=0)
+        report = trainer.fit(model, features, labels, shard_dir, checkpoint_to=registry_dir)
+        print(
+            f"trained over {ROWS} rows (final loss {report.final_loss:.4f}), "
+            f"published checkpoint v{report.checkpoint_version:05d}"
+        )
+
+        # 2. An 80/20 workload: most requests hit a small hot set.
+        rng = np.random.default_rng(0)
+        hot = rng.choice(ROWS, size=ROWS // 5, replace=False)
+        workload = np.where(
+            rng.random(REQUESTS) < 0.8,
+            rng.choice(hot, size=REQUESTS),
+            rng.integers(0, ROWS, size=REQUESTS),
+        )
+
+        # 3. Serve the same traffic through three backends.
+        print(f"\n{REQUESTS} requests from {CLIENTS} clients:\n")
+        print(f"{'backend':<14} {'req/s':>9} {'model calls':>12} "
+              f"{'mean batch':>11} {'cache hits':>11}")
+        # A hot serving tier keeps every decoded block resident (the shards
+        # stay compressed on disk; the pool + LRU bound what is in memory).
+        store_kwargs = dict(decoded_cache_blocks=len(trainer.dataset))
+        for label, kwargs in (
+            ("unbatched", dict(max_batch_size=1, cache_size=0)),
+            ("micro-batched", dict(max_batch_size=64, cache_size=0)),
+            ("batched+cache", dict(max_batch_size=64, cache_size=512)),
+        ):
+            service, _ = PredictionService.from_registry(
+                registry_dir, store_kwargs=store_kwargs, **kwargs
+            )
+            with service:
+                service.predict_ids(range(ROWS))  # warm the decoded blocks
+                wall = drive(service, workload)
+                print(
+                    f"{label:<14} {REQUESTS / wall:>9,.0f} "
+                    f"{service.batcher_stats.batches:>12} "
+                    f"{service.batcher_stats.mean_batch_size:>11.1f} "
+                    f"{service.stats.cache_hits:>11}"
+                )
+
+    print("\nCoalescing concurrent requests into mini-batches amortizes the decode")
+    print("and matvec over many rows — the same effect the MGD training loop uses —")
+    print("and the prediction cache removes the hot keys from the model entirely.")
+    print("Try `python -m repro serve --help` for the CLI version with knobs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@ from repro.ml import (
     MiniBatchGradientDescent,
     OneVsRestClassifier,
 )
+from repro.serve import FeatureStore, MicroBatcher, ModelRegistry, PredictionService
 from repro.storage import BismarckSession, BufferPool
 
 __version__ = "0.1.0"
@@ -36,14 +37,18 @@ __all__ = [
     "BismarckSession",
     "BufferPool",
     "DATASET_PROFILES",
+    "FeatureStore",
     "FeedForwardNetwork",
     "GradientDescentConfig",
     "LinearRegressionModel",
     "LinearSVMModel",
     "LogisticRegressionModel",
+    "MicroBatcher",
     "MiniBatchGradientDescent",
+    "ModelRegistry",
     "OneVsRestClassifier",
     "OutOfCoreTrainer",
+    "PredictionService",
     "ShardedDataset",
     "TOCMatrix",
     "TOCVariant",

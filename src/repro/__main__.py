@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands are provided:
+Six commands are provided:
 
 * ``info`` — package version, registered schemes, dataset profiles;
 * ``advise`` — run the scheme advisor on a sample mini-batch drawn from a
@@ -8,8 +8,12 @@ Four commands are provided:
 * ``experiment`` — run one of the paper's tables/figures by id (delegates to
   :mod:`repro.bench.experiments`, e.g. ``python -m repro experiment fig5``);
 * ``train-ooc`` — shard a dataset to disk with the parallel encode pipeline
-  and train a model out-of-core through the buffer pool
-  (:mod:`repro.engine`).
+  and train a model out-of-core through the buffer pool (:mod:`repro.engine`);
+  ``--checkpoint-dir`` publishes the trained model to a version registry;
+* ``predict`` — load a checkpointed model, look rows up in the shard store,
+  and print predictions next to the stored labels (:mod:`repro.serve`);
+* ``serve`` — drive the micro-batched prediction service with a synthetic
+  closed-loop client swarm and report throughput / batching / cache stats.
 """
 
 from __future__ import annotations
@@ -99,8 +103,14 @@ def _cmd_train_ooc(args: argparse.Namespace) -> int:
 
     try:
         if args.shard_dir is not None:
-            report = trainer.fit(model, features, labels, args.shard_dir)
+            report = trainer.fit(
+                model, features, labels, args.shard_dir, checkpoint_to=args.checkpoint_dir
+            )
         else:
+            if args.checkpoint_dir is not None:
+                print("--checkpoint-dir needs --shard-dir: the checkpoint records the shard")
+                print("directory so `serve` and `predict` can find the features again")
+                return 2
             with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
                 report = trainer.fit(model, features, labels, tmp)
     except ValueError as exc:
@@ -129,6 +139,120 @@ def _cmd_train_ooc(args: argparse.Namespace) -> int:
         f"(hit rate {stats.hit_rate:.0%}), {stats.evictions} evictions, "
         f"{stats.bytes_read_from_disk / 1e6:.2f} MB read from disk"
     )
+    if report.checkpoint_version is not None:
+        print(f"checkpoint: published v{report.checkpoint_version:05d} at {report.checkpoint_path}")
+    return 0
+
+
+def _load_service(args):
+    """Shared ``serve``/``predict`` setup: registry -> checkpoint -> service.
+
+    Returns ``(service, checkpoint)`` or an int exit code on a clean failure.
+    """
+    from repro.serve import PredictionService
+
+    try:
+        service, checkpoint = PredictionService.from_registry(
+            args.checkpoint_dir,
+            args.version if args.version == "latest" else int(args.version),
+            shard_dir=args.shards,
+            max_batch_size=args.max_batch,
+            max_wait_seconds=args.max_wait_ms / 1e3,
+            cache_size=args.cache_size,
+        )
+    except FileNotFoundError as exc:
+        print(f"cannot load checkpoint: {exc}")
+        print("train one first: python -m repro train-ooc --shard-dir shards/ "
+              "--checkpoint-dir checkpoints/")
+        return 2
+    except ValueError as exc:
+        print(f"invalid serving configuration: {exc}")
+        return 2
+    if service.store is None:
+        service.close()
+        print("checkpoint records no shard directory; pass --shards pointing at one")
+        return 2
+    return service, checkpoint
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    loaded = _load_service(args)
+    if isinstance(loaded, int):
+        return loaded
+    service, checkpoint = loaded
+    with service:
+        store = service.store
+        try:
+            ids = [int(part) for part in args.ids.split(",") if part.strip() != ""]
+        except ValueError:
+            print(f"--ids must be comma-separated integers, got {args.ids!r}")
+            return 2
+        try:
+            predictions = service.predict_ids(ids)
+        except IndexError as exc:
+            print(f"predict failed: {exc}")
+            return 2
+        labels = store.get_labels(ids)
+        print(
+            f"model v{checkpoint.version:05d} ({checkpoint.model_name}, "
+            f"scheme {checkpoint.scheme_name}) over {store.n_rows} stored rows"
+        )
+        print(f"{'row':>6} {'prediction':>11} {'label':>6}")
+        for row_id, prediction, label in zip(ids, predictions, labels):
+            print(f"{row_id:>6} {prediction:>11.0f} {label:>6.0f}")
+        correct = float((predictions == labels).mean()) if ids else 0.0
+        print(f"\nagreement with stored labels: {correct:.0%}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    import numpy as np
+
+    loaded = _load_service(args)
+    if isinstance(loaded, int):
+        return loaded
+    service, checkpoint = loaded
+    with service:
+        store = service.store
+        n_rows = store.n_rows
+        rng = np.random.default_rng(args.seed)
+        # 80/20 closed-loop workload: most requests hammer a small hot set,
+        # which is what gives the prediction cache something to absorb.
+        hot = rng.choice(n_rows, size=max(1, n_rows // 5), replace=False)
+        workload = np.where(
+            rng.random(args.requests) < 0.8,
+            rng.choice(hot, size=args.requests),
+            rng.integers(0, n_rows, size=args.requests),
+        )
+        print(
+            f"serving model v{checkpoint.version:05d} ({checkpoint.model_name}, "
+            f"scheme {checkpoint.scheme_name}): {args.requests} requests from "
+            f"{args.clients} clients over {n_rows} rows "
+            f"(batch<= {args.max_batch}, wait {args.max_wait_ms}ms, cache {args.cache_size})"
+        )
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=args.clients) as clients:
+            list(clients.map(service.predict_id, workload))
+        wall = time.perf_counter() - start
+
+        stats, batcher, blocks = service.stats, service.batcher_stats, store.stats
+        print(f"\nthroughput: {args.requests / wall:,.0f} requests/s ({wall:.3f}s wall)")
+        print(
+            f"latency:    {stats.mean_request_seconds * 1e6:,.0f} us mean "
+            f"({stats.requests} requests)"
+        )
+        print(
+            f"batching:   {batcher.batches} model calls, mean batch "
+            f"{batcher.mean_batch_size:.1f}, largest {batcher.largest_batch}"
+        )
+        print(f"pred cache: {stats.cache_hit_rate:.0%} hit rate ({stats.cache_hits} hits)")
+        print(
+            f"store:      {blocks.block_hit_rate:.0%} decoded-block hit rate, "
+            f"{store.pool.stats.bytes_read_from_disk / 1e6:.2f} MB read through the pool"
+        )
     return 0
 
 
@@ -190,7 +314,57 @@ def build_parser() -> argparse.ArgumentParser:
     train_ooc.add_argument(
         "--shard-dir", default=None, help="persist shards here (default: temporary directory)"
     )
+    train_ooc.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="publish the trained model to this registry (needs --shard-dir)",
+    )
     train_ooc.set_defaults(func=_cmd_train_ooc)
+
+    def add_serving_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--checkpoint-dir", default="checkpoints", help="model registry root directory"
+        )
+        sub.add_argument(
+            "--version", default="latest", help='checkpoint version number or "latest"'
+        )
+        sub.add_argument(
+            "--shards",
+            default=None,
+            help="shard directory (default: the one recorded in the checkpoint)",
+        )
+        sub.add_argument(
+            "--max-batch", type=int, default=32, help="micro-batch size cap (1 disables)"
+        )
+        sub.add_argument(
+            "--max-wait-ms",
+            type=float,
+            default=0.0,
+            help="micro-batch linger for stragglers (0: dispatch when the queue empties)",
+        )
+        sub.add_argument(
+            "--cache-size", type=int, default=256, help="prediction LRU entries (0 disables)"
+        )
+
+    predict = subparsers.add_parser(
+        "predict",
+        help="predict stored rows with a checkpointed model",
+    )
+    add_serving_args(predict)
+    predict.add_argument(
+        "--ids", default="0,1,2,3,4,5,6,7", help="comma-separated row ids to predict"
+    )
+    predict.set_defaults(func=_cmd_predict)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the micro-batched prediction service under synthetic load",
+    )
+    add_serving_args(serve)
+    serve.add_argument("--requests", type=int, default=2000, help="total requests to issue")
+    serve.add_argument("--clients", type=int, default=4, help="concurrent client threads")
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

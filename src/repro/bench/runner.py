@@ -2,16 +2,18 @@
 
 Besides the timing helpers, this module owns the machine-readable benchmark
 output: :func:`write_bench_json` writes one ``BENCH_<name>.json`` snapshot
-per run (schema version, platform fingerprint, records; an existing file of
-the same name is replaced) so CI can archive each run as an artifact and the
-perf trajectory accumulates across commits.
+per run (schema version, git commit, platform fingerprint, records; an
+existing file of the same name is replaced) so CI can archive each run as an
+artifact and the perf trajectory accumulates across commits.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import platform
+import subprocess
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -24,7 +26,40 @@ from repro.compression.registry import get_scheme
 BENCH_JSON_DIR_ENV = "BENCH_JSON_DIR"
 
 #: Schema version stamped into every benchmark JSON file.
-BENCH_JSON_VERSION = 1
+#: v2 added ``git_commit`` so each file is an attributable point on the
+#: perf trajectory, not just a platform-stamped blob.
+BENCH_JSON_VERSION = 2
+
+
+@functools.lru_cache(maxsize=1)
+def current_git_commit() -> str | None:
+    """HEAD commit hash of the repository containing this module, or None.
+
+    Resolved relative to the package source (not the process CWD), so bench
+    sessions launched from anywhere still attribute to the right commit.
+    Returns ``None`` when the package is not itself inside a git checkout —
+    an installed wheel whose site-packages happens to live under some
+    unrelated repository must not stamp that repository's HEAD — or when
+    git is unavailable.  Cached: HEAD cannot change within a process.
+    """
+    package_dir = Path(__file__).resolve().parent
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel", "HEAD"],
+            cwd=package_dir,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if result.returncode != 0:
+        return None
+    lines = result.stdout.strip().splitlines()
+    if len(lines) != 2:
+        return None
+    toplevel, commit = Path(lines[0]).resolve(), lines[1]
+    return commit if commit and package_dir.is_relative_to(toplevel) else None
 
 
 @dataclass(frozen=True)
@@ -80,8 +115,9 @@ def write_bench_json(
     """Write benchmark ``records`` as ``BENCH_<name>.json`` and return the path.
 
     Records are plain dicts (dataclasses are converted); the envelope adds a
-    schema version and a platform fingerprint so accumulated files stay
-    comparable across machines and commits.
+    schema version, the git commit of the source tree, and a platform
+    fingerprint so accumulated files stay attributable and comparable across
+    machines and commits.
     """
     path = bench_json_path(name, directory)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -89,6 +125,7 @@ def write_bench_json(
         "version": BENCH_JSON_VERSION,
         "name": name,
         "created_unix": time.time(),
+        "git_commit": current_git_commit(),
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),

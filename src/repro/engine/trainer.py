@@ -38,6 +38,8 @@ class OOCTrainReport:
     budget_bytes: int = 0
     total_payload_bytes: int = 0
     physical_bytes: int = 0
+    checkpoint_version: int | None = None
+    checkpoint_path: Path | None = None
 
     @property
     def fits_in_memory(self) -> bool:
@@ -187,10 +189,44 @@ class OutOfCoreTrainer:
         labels: np.ndarray,
         shard_dir: Path | str,
         eval_fn=None,
+        *,
+        checkpoint_to: Path | str | None = None,
     ) -> OOCTrainReport:
-        """Convenience wrapper: shard to disk, then train."""
+        """Convenience wrapper: shard to disk, then train.
+
+        With ``checkpoint_to`` the trained model is published as the next
+        version in a :class:`repro.serve.checkpoint.ModelRegistry` rooted
+        there, recording the shard directory so ``python -m repro serve`` can
+        find the features again; the report carries the version and path.
+        """
         self.shard(features, labels, shard_dir)
-        return self.train(model, eval_fn=eval_fn)
+        report = self.train(model, eval_fn=eval_fn)
+        if checkpoint_to is not None:
+            report.checkpoint_version, report.checkpoint_path = self.checkpoint(
+                model, checkpoint_to
+            )
+        return report
+
+    def checkpoint(self, model, registry_root: Path | str) -> tuple[int, Path]:
+        """Publish ``model`` to the registry with this run's provenance."""
+        if self.dataset is None:
+            raise RuntimeError("call shard() or attach() before checkpoint()")
+        # Local import: repro.serve sits on top of the engine, so importing it
+        # at module scope would be circular.
+        from repro.serve.checkpoint import ModelRegistry
+
+        registry = ModelRegistry(registry_root)
+        version = registry.save(
+            model,
+            scheme_name=self.scheme.name,
+            dataset_meta={
+                "shard_dir": str(self.dataset.directory.resolve()),
+                "n_examples": self.dataset.n_examples,
+                "n_shards": len(self.dataset),
+                "scheme": self.dataset.scheme_name,
+            },
+        )
+        return version, registry.path_for(version)
 
     # -- Bismarck integration ----------------------------------------------------
 

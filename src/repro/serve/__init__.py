@@ -1,0 +1,41 @@
+"""Online serving layer over compressed storage.
+
+Training amortizes decompression and linear algebra over mini-batches; this
+package applies the same trick to the *read* side, turning a trained model
+plus a shard directory into a high-throughput prediction service:
+
+1. **checkpoint** — versioned save/load for the :mod:`repro.ml` models and a
+   :class:`ModelRegistry` resolving pinned and ``"latest"`` versions;
+2. **feature store** — point and range row lookups over a
+   :class:`~repro.engine.shards.ShardedDataset`, served through the
+   byte-budgeted :class:`~repro.storage.buffer_pool.BufferPool` with a
+   decoded-block LRU on top (decode-on-demand, never the whole dataset);
+3. **micro-batcher** — a queue that coalesces concurrent single-row predict
+   requests into mini-batches, so decode and matmul costs are amortized
+   exactly as in the MGD training loop;
+4. **service** — :class:`PredictionService` tying registry, feature store and
+   batcher together with a prediction LRU and latency/throughput counters.
+"""
+
+from repro.serve.batcher import MicroBatcher, MicroBatcherStats
+from repro.serve.checkpoint import (
+    Checkpoint,
+    ModelRegistry,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serve.feature_store import FeatureStore, FeatureStoreStats
+from repro.serve.service import PredictionService, ServiceStats
+
+__all__ = [
+    "Checkpoint",
+    "FeatureStore",
+    "FeatureStoreStats",
+    "MicroBatcher",
+    "MicroBatcherStats",
+    "ModelRegistry",
+    "PredictionService",
+    "ServiceStats",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,178 @@
+"""Queue-based micro-batching for concurrent single-row requests.
+
+Online traffic arrives one row at a time, but everything downstream —
+decompression, the compressed matvec, the Python call overhead — is cheaper
+per row when amortized over a mini-batch.  The micro-batcher is the bridge:
+callers submit single requests and block on a future; a single worker thread
+drains the queue, coalescing up to ``max_batch_size`` requests (waiting at
+most ``max_wait_seconds`` for stragglers after the first arrival), and runs
+the whole batch through one handler call.  With ``max_batch_size=1`` it
+degenerates to an unbatched request loop, which the serving benchmark uses
+as the fair baseline.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+#: Shutdown marker pushed by :meth:`MicroBatcher.close`.
+_SENTINEL = object()
+
+
+@dataclass
+class MicroBatcherStats:
+    """Counters accumulated by a :class:`MicroBatcher`."""
+
+    requests: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into handler calls over mini-batches.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(inputs) -> outputs`` where ``outputs`` has one entry per
+        input, in order.  Called from the worker thread only, so it needs no
+        locking of its own.
+    max_batch_size:
+        Upper bound on requests per handler call (≥ 1).
+    max_wait_seconds:
+        How long the worker lingers for stragglers after the first request of
+        a batch arrives.  The default of ``0`` dispatches as soon as the queue
+        momentarily empties — under concurrent load batches still form
+        naturally (requests pile up while the previous batch is in the
+        handler), and no request ever waits idle.  A positive linger trades
+        latency for bigger batches, which only pays when one handler call is
+        expensive relative to the linger (cold decodes, big models).
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[list], Sequence],
+        *,
+        max_batch_size: int = 32,
+        max_wait_seconds: float = 0.0,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be non-negative")
+        self.handler = handler
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_seconds
+        self.stats = MicroBatcherStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        # Makes "closed-check + put" atomic against close(): without it a
+        # submit could slip its request in after the shutdown sentinel and
+        # block its caller on a future nobody will ever resolve.
+        self._submit_lock = threading.Lock()
+        self._worker = threading.Thread(target=self._run, name="repro-microbatcher", daemon=True)
+        self._worker.start()
+
+    # -- client side ----------------------------------------------------------
+
+    def submit(self, request) -> Future:
+        """Enqueue one request; the future resolves to its handler output."""
+        future: Future = Future()
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.put((request, future))
+        return future
+
+    def __call__(self, request):
+        """Blocking convenience: submit and wait for the result."""
+        return self.submit(request).result()
+
+    def close(self) -> None:
+        """Stop accepting requests, drain what is queued, join the worker."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SENTINEL)
+        self._worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker side ----------------------------------------------------------
+
+    def _run(self) -> None:
+        import time
+
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._drain()
+                return
+            batch = [item]
+            deadline = time.monotonic() + self.max_wait_seconds
+            saw_sentinel = False
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                try:
+                    if remaining > 0:
+                        nxt = self._queue.get(timeout=remaining)
+                    else:
+                        nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _SENTINEL:
+                    saw_sentinel = True
+                    break
+                batch.append(nxt)
+            self._dispatch(batch)
+            if saw_sentinel:
+                self._drain()
+                return
+
+    def _drain(self) -> None:
+        """Serve whatever was queued before shutdown, still in batches."""
+        batch: list = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                continue
+            batch.append(item)
+            if len(batch) >= self.max_batch_size:
+                self._dispatch(batch)
+                batch = []
+        if batch:
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list) -> None:
+        inputs = [request for request, _ in batch]
+        self.stats.requests += len(batch)
+        self.stats.batches += 1
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        try:
+            outputs = self.handler(inputs)
+            if len(outputs) != len(batch):
+                raise RuntimeError(
+                    f"handler returned {len(outputs)} outputs for {len(batch)} requests"
+                )
+        except BaseException as exc:  # propagate to every blocked caller
+            for _, future in batch:
+                future.set_exception(exc)
+            return
+        for (_, future), output in zip(batch, outputs):
+            future.set_result(output)

@@ -1,0 +1,188 @@
+"""Row lookups over a sharded dataset, through the buffer pool.
+
+The training engine reads whole shards; serving needs individual rows.  The
+feature store maps a global row id onto (shard, local row) with the manifest
+row counts, reads the compressed payload through the same byte-budgeted
+:class:`~repro.storage.buffer_pool.BufferPool` the trainer uses, and keeps a
+small LRU of *decoded* blocks on top — so a point lookup decodes a shard at
+most once per cache residency instead of once per row, and a range or batch
+lookup touches each shard exactly once.
+
+Both caches are deliberately separate: the buffer pool bounds resident
+*compressed* bytes (the paper's RAM-budget mechanism), while the decoded LRU
+bounds how many *dense* blocks exist at a time (dense blocks are 5–20x
+larger, so caching them all would defeat the compression).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.compression.registry import get_scheme
+from repro.serve.lru import LRUCache
+from repro.storage.buffer_pool import BufferPool
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids engine import
+    from repro.engine.shards import ShardedDataset
+
+
+@dataclass
+class FeatureStoreStats:
+    """Counters accumulated by a :class:`FeatureStore`."""
+
+    lookups: int = 0
+    rows_served: int = 0
+    block_hits: int = 0
+    block_misses: int = 0
+
+    @property
+    def block_accesses(self) -> int:
+        return self.block_hits + self.block_misses
+
+    @property
+    def block_hit_rate(self) -> float:
+        return self.block_hits / self.block_accesses if self.block_accesses else 0.0
+
+
+class FeatureStore:
+    """Point and range row access over a :class:`ShardedDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        An open shard directory (:meth:`repro.engine.shards.ShardedDataset.open`).
+    pool:
+        Buffer pool for the compressed payloads.  When omitted, one is built
+        with ``budget_bytes`` (default: the full payload fits — serving wants
+        hot data resident; pass a smaller budget to model a RAM-starved tier).
+    decoded_cache_blocks:
+        How many decoded dense blocks the LRU holds (≥ 1).
+    """
+
+    def __init__(
+        self,
+        dataset: "ShardedDataset",
+        *,
+        pool: BufferPool | None = None,
+        budget_bytes: int | None = None,
+        decoded_cache_blocks: int = 4,
+    ):
+        if decoded_cache_blocks < 1:
+            raise ValueError("decoded_cache_blocks must be at least 1")
+        self.dataset = dataset
+        self.scheme = get_scheme(dataset.scheme_name)
+        if pool is None:
+            pool = BufferPool(budget_bytes=budget_bytes or max(1, dataset.total_payload_bytes()))
+        dataset.attach(pool)
+        self.pool = pool
+        self.decoded_cache_blocks = decoded_cache_blocks
+        self._decoded: LRUCache = LRUCache(decoded_cache_blocks)
+        self.stats = FeatureStoreStats()
+        # Guards stats and the (single-threaded) buffer pool: the store is
+        # shared between client threads (bulk API) and the batcher worker.
+        self._lock = threading.Lock()
+        # offsets[i] = global row id of the first row of shard i.
+        self._offsets: list[int] = []
+        cursor = 0
+        for shard in dataset.shards:
+            self._offsets.append(cursor)
+            cursor += shard.n_rows
+        self._n_rows = cursor
+
+    @classmethod
+    def open(cls, directory, **kwargs) -> "FeatureStore":
+        """Open a shard directory and build a store over it."""
+        from repro.engine.shards import ShardedDataset
+
+        return cls(ShardedDataset.open(directory), **kwargs)
+
+    # -- geometry -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return self.dataset.shards[0].n_cols if self.dataset.shards else 0
+
+    def locate(self, row_id: int) -> tuple[int, int]:
+        """Map a global row id to ``(batch_id, local_row)``."""
+        row_id = int(row_id)
+        if not 0 <= row_id < self._n_rows:
+            raise IndexError(f"row {row_id} out of range [0, {self._n_rows})")
+        shard_index = bisect_right(self._offsets, row_id) - 1
+        return self.dataset.shards[shard_index].batch_id, row_id - self._offsets[shard_index]
+
+    # -- block access ---------------------------------------------------------
+
+    def decoded_block(self, batch_id: int) -> np.ndarray:
+        """The dense form of one shard, through the decoded-block LRU."""
+        cached = self._decoded.get(batch_id)
+        if cached is not None:
+            with self._lock:
+                self.stats.block_hits += 1
+            return cached
+        with self._lock:
+            # The pool is not thread-safe, so the read stays under the lock;
+            # a racing miss decodes twice and last-write-wins on the put.
+            self.stats.block_misses += 1
+            payload = self.pool.read(batch_id)
+        block = self.scheme.decompress_bytes(payload).to_dense()
+        self._decoded.put(batch_id, block)
+        return block
+
+    # -- row access -----------------------------------------------------------
+
+    def get_row(self, row_id: int) -> np.ndarray:
+        """One feature row (a copy, safe to mutate)."""
+        batch_id, local = self.locate(row_id)
+        with self._lock:
+            self.stats.lookups += 1
+            self.stats.rows_served += 1
+        return self.decoded_block(batch_id)[local].copy()
+
+    def get_rows(self, row_ids: Iterable[int]) -> np.ndarray:
+        """Many rows as one dense matrix, decoding each touched shard once.
+
+        Rows come back in request order; duplicate ids are allowed (a cache
+        serving repeat traffic produces them naturally).
+        """
+        ids = [int(r) for r in row_ids]
+        with self._lock:
+            self.stats.lookups += 1
+            self.stats.rows_served += len(ids)
+        out = np.empty((len(ids), self.n_cols), dtype=np.float64)
+        # Group positions by shard so each block is fetched exactly once.
+        by_shard: dict[int, list[int]] = {}
+        located = [self.locate(r) for r in ids]
+        for position, (batch_id, _) in enumerate(located):
+            by_shard.setdefault(batch_id, []).append(position)
+        for batch_id, positions in by_shard.items():
+            block = self.decoded_block(batch_id)
+            for position in positions:
+                out[position] = block[located[position][1]]
+        return out
+
+    def get_range(self, start: int, stop: int) -> np.ndarray:
+        """Rows ``start:stop`` as one dense matrix (half-open, like slicing)."""
+        if stop < start:
+            raise ValueError(f"invalid range [{start}, {stop})")
+        return self.get_rows(range(start, stop))
+
+    def get_labels(self, row_ids: Iterable[int]) -> np.ndarray:
+        """Stored labels for the given rows (ground truth for evaluation)."""
+        labels = []
+        for row_id in row_ids:
+            batch_id, local = self.locate(row_id)
+            labels.append(self.dataset.labels_for(batch_id)[local])
+        return np.asarray(labels)

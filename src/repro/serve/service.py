@@ -1,0 +1,228 @@
+"""The prediction service: registry + feature store + micro-batcher.
+
+One object answers online prediction traffic end to end: row ids are looked
+up in the :class:`~repro.serve.feature_store.FeatureStore` (decode-on-demand
+through the buffer pool), requests are coalesced by the
+:class:`~repro.serve.batcher.MicroBatcher` so the model runs one compressed-
+style batch operation per mini-batch instead of per request, and a small
+prediction LRU absorbs repeat traffic entirely.  Counters cover the three
+levels (cache, batcher, store) so a load test can tell *where* each request
+was answered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.checkpoint import Checkpoint, ModelRegistry
+from repro.serve.feature_store import FeatureStore
+from repro.serve.lru import LRUCache
+
+
+@dataclass
+class ServiceStats:
+    """Request-level counters for a :class:`PredictionService`."""
+
+    requests: int = 0
+    rows_predicted: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    predict_seconds: float = 0.0
+    request_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_hits / accesses if accesses else 0.0
+
+    @property
+    def mean_request_seconds(self) -> float:
+        return self.request_seconds / self.requests if self.requests else 0.0
+
+    @property
+    def predicted_rows_per_second(self) -> float:
+        return self.rows_predicted / self.predict_seconds if self.predict_seconds else 0.0
+
+
+class PredictionService:
+    """Serve single-row and bulk predictions from a trained model.
+
+    Parameters
+    ----------
+    model:
+        Any :mod:`repro.ml.models` model (``predict`` over a batch).
+    store:
+        Feature store resolving row ids; optional — a store-less service
+        still answers feature-vector requests.
+    max_batch_size / max_wait_seconds:
+        Micro-batching knobs (``max_batch_size=1`` disables coalescing).
+    cache_size:
+        Prediction LRU entries, keyed by row id (0 disables the cache).
+    """
+
+    def __init__(
+        self,
+        model,
+        store: FeatureStore | None = None,
+        *,
+        max_batch_size: int = 32,
+        max_wait_seconds: float = 0.0,
+        cache_size: int = 0,
+    ):
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self.model = model
+        self.store = store
+        self.cache_size = cache_size
+        self.stats = ServiceStats()
+        self._cache: LRUCache | None = LRUCache(cache_size) if cache_size else None
+        self._lock = threading.Lock()  # guards stats only; the caches self-lock
+        self._batcher = MicroBatcher(
+            self._handle_batch,
+            max_batch_size=max_batch_size,
+            max_wait_seconds=max_wait_seconds,
+        )
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: ModelRegistry | Path | str,
+        version: int | str = "latest",
+        *,
+        shard_dir: Path | str | None = None,
+        store_kwargs: dict | None = None,
+        **kwargs,
+    ) -> tuple["PredictionService", Checkpoint]:
+        """Build a service from a checkpoint registry (and its shard dir).
+
+        ``shard_dir`` overrides the directory recorded in the checkpoint;
+        when neither is available the service runs without a feature store.
+        Returns the service and the resolved checkpoint (for provenance).
+        """
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        checkpoint = registry.load(version)
+        directory = Path(shard_dir) if shard_dir is not None else checkpoint.shard_dir
+        store = None
+        if directory is not None:
+            store = FeatureStore.open(directory, **(store_kwargs or {}))
+        return cls(checkpoint.model, store, **kwargs), checkpoint
+
+    # -- batched execution -----------------------------------------------------
+
+    def _handle_batch(self, requests: list) -> list[float]:
+        """Worker-side handler: one model invocation for the whole batch."""
+        row_ids = [req for kind, req in requests if kind == "id"]
+        if row_ids and self.store is None:
+            raise RuntimeError("row-id predictions need a feature store")
+        matrix = np.empty((len(requests), self._n_features()), dtype=np.float64)
+        if row_ids:
+            id_positions = [i for i, (kind, _) in enumerate(requests) if kind == "id"]
+            matrix[id_positions] = self.store.get_rows(row_ids)
+        for i, (kind, req) in enumerate(requests):
+            if kind == "vec":
+                matrix[i] = req
+        start = time.perf_counter()
+        predictions = np.asarray(self.model.predict(matrix), dtype=np.float64)
+        with self._lock:
+            self.stats.predict_seconds += time.perf_counter() - start
+            self.stats.rows_predicted += len(requests)
+        return [float(p) for p in predictions]
+
+    def _n_features(self) -> int:
+        n = getattr(self.model, "n_features", None)
+        if n:
+            return int(n)
+        if self.store is not None:
+            return self.store.n_cols
+        raise RuntimeError("cannot infer the feature width")
+
+    # -- single-row API --------------------------------------------------------
+
+    def predict_id(self, row_id: int) -> float:
+        """Predict for one stored row, through cache and micro-batcher."""
+        row_id = int(row_id)
+        start = time.perf_counter()
+        if self._cache is not None:
+            value = self._cache.get(row_id)
+            with self._lock:
+                if value is not None:
+                    self.stats.cache_hits += 1
+                    self.stats.requests += 1
+                    self.stats.request_seconds += time.perf_counter() - start
+                    return value
+                self.stats.cache_misses += 1
+        value = self._batcher.submit(("id", row_id)).result()
+        if self._cache is not None:
+            self._cache.put(row_id, value)
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.request_seconds += time.perf_counter() - start
+        return value
+
+    def predict_vector(self, features: np.ndarray) -> float:
+        """Predict for one raw feature vector (uncached, micro-batched)."""
+        start = time.perf_counter()
+        vector = np.asarray(features, dtype=np.float64).ravel()
+        value = self._batcher.submit(("vec", vector)).result()
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.request_seconds += time.perf_counter() - start
+        return value
+
+    # -- bulk API --------------------------------------------------------------
+
+    def predict_ids(self, row_ids: Iterable[int]) -> np.ndarray:
+        """Bulk path: one store lookup + one model call, no queueing."""
+        if self.store is None:
+            raise RuntimeError("row-id predictions need a feature store")
+        ids = [int(r) for r in row_ids]
+        start = time.perf_counter()
+        matrix = self.store.get_rows(ids)
+        predictions = np.asarray(self.model.predict(matrix), dtype=np.float64)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.rows_predicted += len(ids)
+            self.stats.predict_seconds += elapsed
+            self.stats.request_seconds += elapsed
+        return predictions
+
+    def predict_matrix(self, features: np.ndarray) -> np.ndarray:
+        """Bulk path over raw features: one model call."""
+        matrix = np.asarray(features, dtype=np.float64)
+        start = time.perf_counter()
+        predictions = np.asarray(self.model.predict(matrix), dtype=np.float64)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.rows_predicted += matrix.shape[0]
+            self.stats.predict_seconds += elapsed
+            self.stats.request_seconds += elapsed
+        return predictions
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def batcher_stats(self):
+        return self._batcher.stats
+
+    @property
+    def store_stats(self):
+        return self.store.stats if self.store is not None else None
+
+    def close(self) -> None:
+        self._batcher.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -100,6 +100,17 @@ class TestBenchJSON:
         assert payload["version"] == BENCH_JSON_VERSION
         assert payload["records"] == records
         assert payload["platform"]["cpu_count"] >= 1
+        assert "git_commit" in payload
+
+    def test_git_commit_resolves_in_this_checkout(self):
+        from repro.bench.runner import current_git_commit
+
+        commit = current_git_commit()
+        # The test suite runs from a git checkout, so the hash must resolve
+        # (and parse as one); installed-wheel environments would get None.
+        assert commit is not None
+        assert len(commit) == 40
+        assert all(c in "0123456789abcdef" for c in commit)
 
     def test_write_bench_json_accepts_dataclasses(self, tmp_path):
         import json

@@ -1,0 +1,128 @@
+"""Tests for the read-ahead prefetch iterator."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.prefetch import prefetch_iter
+
+
+class TestOrdering:
+    def test_preserves_order(self):
+        out = list(prefetch_iter(lambda i: i * i, range(10), depth=3))
+        assert out == [i * i for i in range(10)]
+
+    def test_depth_larger_than_sequence(self):
+        assert list(prefetch_iter(lambda i: i, range(2), depth=8)) == [0, 1]
+
+    def test_zero_depth_degenerates_to_map(self):
+        assert list(prefetch_iter(lambda i: -i, range(4), depth=0)) == [0, -1, -2, -3]
+
+    def test_empty_keys(self):
+        assert list(prefetch_iter(lambda i: i, [], depth=2)) == []
+
+    def test_reads_ahead_of_the_consumer(self):
+        fetched: list[int] = []
+        iterator = prefetch_iter(fetched.append, range(10), depth=3)
+        next(iterator)
+        # While the consumer holds result 0, the window must already cover
+        # the next `depth` keys (3 submitted up-front + 1 refill after yield).
+        deadline = time.monotonic() + 2.0
+        while len(fetched) < 4 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert len(fetched) >= 4
+        iterator.close()
+
+
+class TestExceptionPropagation:
+    def test_fetch_error_reaches_the_consumer(self):
+        def fetch(key):
+            if key == 3:
+                raise OSError("shard file vanished")
+            return key
+
+        iterator = prefetch_iter(fetch, range(6), depth=2)
+        with pytest.raises(OSError, match="shard file vanished"):
+            list(iterator)
+
+    def test_results_before_the_error_still_arrive(self):
+        def fetch(key):
+            if key == 2:
+                raise ValueError("bad batch")
+            return key * 10
+
+        iterator = prefetch_iter(fetch, range(5), depth=2)
+        assert next(iterator) == 0
+        assert next(iterator) == 10
+        with pytest.raises(ValueError, match="bad batch"):
+            next(iterator)
+
+    def test_error_with_zero_depth(self):
+        def fetch(key):
+            raise RuntimeError("decode failed")
+
+        with pytest.raises(RuntimeError, match="decode failed"):
+            next(prefetch_iter(fetch, range(3), depth=0))
+
+    def test_error_does_not_leak_worker_threads(self):
+        before = threading.active_count()
+
+        def fetch(key):
+            raise RuntimeError("boom")
+
+        for _ in range(5):
+            with pytest.raises(RuntimeError):
+                list(prefetch_iter(fetch, range(4), depth=2))
+        deadline = time.monotonic() + 2.0
+        while threading.active_count() > before and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= before
+
+
+class TestEarlyAbandonment:
+    def test_early_break_does_not_hang(self):
+        for value in prefetch_iter(lambda i: i, range(100), depth=4):
+            if value == 3:
+                break
+        assert value == 3
+
+    def test_no_fetches_start_after_close(self):
+        fetched: list[int] = []
+        lock = threading.Lock()
+
+        def fetch(key):
+            with lock:
+                fetched.append(key)
+            time.sleep(0.002)
+            return key
+
+        iterator = prefetch_iter(fetch, range(100), depth=4)
+        next(iterator)
+        next(iterator)
+        iterator.close()  # shuts the executor down, cancelling queued fetches
+        with lock:
+            snapshot = len(fetched)
+        time.sleep(0.05)
+        assert len(fetched) == snapshot
+        assert snapshot < 100
+
+    def test_abandoned_iterator_is_collectable_without_consuming(self):
+        started = threading.Event()
+
+        def fetch(key):
+            started.set()
+            return key
+
+        iterator = prefetch_iter(fetch, range(50), depth=2)
+        next(iterator)
+        assert started.is_set()
+        del iterator  # generator finalizer must run the shutdown path
+
+    def test_close_before_first_next_is_safe(self):
+        iterator = prefetch_iter(lambda i: i, range(10), depth=2)
+        iterator.close()
+        with pytest.raises(StopIteration):
+            next(iterator)

@@ -8,7 +8,6 @@ import pytest
 from repro.compression.registry import get_scheme
 from repro.data.registry import DATASET_PROFILES
 from repro.engine.encode import encode_batches, resolve_executor, resolve_workers
-from repro.engine.prefetch import prefetch_iter
 from repro.engine.shards import ShardedDataset
 from repro.storage.buffer_pool import BufferPool
 
@@ -116,21 +115,3 @@ class TestShardedDataset:
         for batch_id, (compressed, labels) in enumerate(table.iter_batches()):
             np.testing.assert_allclose(compressed.to_dense(), small_batches[batch_id][0])
             np.testing.assert_array_equal(labels, small_batches[batch_id][1])
-
-
-class TestPrefetchIter:
-    def test_preserves_order(self):
-        out = list(prefetch_iter(lambda i: i * i, range(10), depth=3))
-        assert out == [i * i for i in range(10)]
-
-    def test_depth_larger_than_sequence(self):
-        assert list(prefetch_iter(lambda i: i, range(2), depth=8)) == [0, 1]
-
-    def test_zero_depth_degenerates_to_map(self):
-        assert list(prefetch_iter(lambda i: -i, range(4), depth=0)) == [0, -1, -2, -3]
-
-    def test_early_break_does_not_hang(self):
-        for value in prefetch_iter(lambda i: i, range(100), depth=4):
-            if value == 3:
-                break
-        assert value == 3

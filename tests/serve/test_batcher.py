@@ -1,0 +1,125 @@
+"""Tests for the micro-batcher."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+class TestBasics:
+    def test_single_request_round_trips(self):
+        with MicroBatcher(lambda xs: [x * 2 for x in xs]) as batcher:
+            assert batcher(21) == 42
+
+    def test_results_map_to_their_requests(self):
+        with MicroBatcher(lambda xs: [x + 1 for x in xs], max_batch_size=4) as batcher:
+            futures = [batcher.submit(i) for i in range(20)]
+            assert [f.result() for f in futures] == [i + 1 for i in range(20)]
+
+    def test_batch_size_one_is_unbatched(self):
+        sizes = []
+
+        def handler(xs):
+            sizes.append(len(xs))
+            return xs
+
+        with MicroBatcher(handler, max_batch_size=1) as batcher:
+            futures = [batcher.submit(i) for i in range(6)]
+            [f.result() for f in futures]
+        assert sizes == [1] * 6
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda xs: xs, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda xs: xs, max_wait_seconds=-1)
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_batches(self):
+        release = threading.Event()
+
+        def handler(xs):
+            release.wait(timeout=5)
+            return xs
+
+        batcher = MicroBatcher(handler, max_batch_size=16, max_wait_seconds=0.05)
+        try:
+            # The first request occupies the worker (blocked on the event);
+            # the rest pile up and must coalesce once it is released.
+            futures = [batcher.submit(i) for i in range(9)]
+            release.set()
+            assert [f.result(timeout=5) for f in futures] == list(range(9))
+            assert batcher.stats.requests == 9
+            assert batcher.stats.batches < 9
+            assert batcher.stats.largest_batch > 1
+        finally:
+            batcher.close()
+
+    def test_max_batch_size_respected(self):
+        sizes = []
+        gate = threading.Event()
+
+        def handler(xs):
+            gate.wait(timeout=5)
+            sizes.append(len(xs))
+            return xs
+
+        batcher = MicroBatcher(handler, max_batch_size=3, max_wait_seconds=0.05)
+        try:
+            futures = [batcher.submit(i) for i in range(10)]
+            gate.set()
+            [f.result(timeout=5) for f in futures]
+            assert max(sizes) <= 3
+        finally:
+            batcher.close()
+
+    def test_mean_batch_size_stat(self):
+        with MicroBatcher(lambda xs: xs, max_batch_size=8) as batcher:
+            [batcher.submit(i).result() for i in range(4)]
+        assert batcher.stats.mean_batch_size >= 1.0
+
+
+class TestFailureAndShutdown:
+    def test_handler_exception_propagates_to_callers(self):
+        def handler(xs):
+            raise RuntimeError("model exploded")
+
+        with MicroBatcher(handler) as batcher:
+            future = batcher.submit(1)
+            with pytest.raises(RuntimeError, match="model exploded"):
+                future.result(timeout=5)
+
+    def test_wrong_output_arity_is_an_error(self):
+        with MicroBatcher(lambda xs: [1, 2, 3]) as batcher:
+            with pytest.raises(RuntimeError, match="outputs"):
+                batcher.submit("x").result(timeout=5)
+
+    def test_close_drains_queued_requests(self):
+        slow_started = threading.Event()
+
+        def handler(xs):
+            slow_started.set()
+            time.sleep(0.02)
+            return xs
+
+        batcher = MicroBatcher(handler, max_batch_size=2, max_wait_seconds=0)
+        futures = [batcher.submit(i) for i in range(7)]
+        slow_started.wait(timeout=5)
+        batcher.close()
+        assert [f.result(timeout=5) for f in futures] == list(range(7))
+
+    def test_submit_after_close_rejected(self):
+        batcher = MicroBatcher(lambda xs: xs)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(1)
+
+    def test_close_twice_is_safe(self):
+        batcher = MicroBatcher(lambda xs: xs)
+        batcher.close()
+        batcher.close()

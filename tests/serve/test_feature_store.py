@@ -1,0 +1,128 @@
+"""Tests for row lookups over a sharded dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.registry import DATASET_PROFILES
+from repro.engine.shards import ShardedDataset
+from repro.serve.feature_store import FeatureStore
+from repro.storage.buffer_pool import BufferPool
+
+
+@pytest.fixture(scope="module")
+def shard_fixture(tmp_path_factory):
+    """A small sharded dataset plus the dense rows in shard order."""
+    features, labels = DATASET_PROFILES["census"].classification(200, seed=11)
+    split = np.array_split(np.arange(features.shape[0]), 5)
+    batches = [(features[idx], labels[idx]) for idx in split]
+    directory = tmp_path_factory.mktemp("store-shards")
+    ShardedDataset.create(directory, batches, "TOC", executor="serial")
+    dense = np.vstack([x for x, _ in batches])
+    all_labels = np.concatenate([y for _, y in batches])
+    return directory, dense, all_labels
+
+
+class TestGeometry:
+    def test_length_and_width(self, shard_fixture):
+        directory, dense, _ = shard_fixture
+        store = FeatureStore.open(directory)
+        assert len(store) == dense.shape[0]
+        assert store.n_cols == dense.shape[1]
+
+    def test_locate_maps_boundaries(self, shard_fixture):
+        directory, dense, _ = shard_fixture
+        store = FeatureStore.open(directory)
+        assert store.locate(0) == (0, 0)
+        first_rows = store.dataset.shards[0].n_rows
+        assert store.locate(first_rows - 1) == (0, first_rows - 1)
+        assert store.locate(first_rows) == (1, 0)
+
+    def test_out_of_range_rejected(self, shard_fixture):
+        directory, dense, _ = shard_fixture
+        store = FeatureStore.open(directory)
+        with pytest.raises(IndexError):
+            store.get_row(dense.shape[0])
+        with pytest.raises(IndexError):
+            store.get_row(-1)
+
+
+class TestRowAccess:
+    def test_every_row_matches_dense(self, shard_fixture):
+        directory, dense, _ = shard_fixture
+        store = FeatureStore.open(directory)
+        for row_id in range(dense.shape[0]):
+            np.testing.assert_allclose(store.get_row(row_id), dense[row_id])
+
+    def test_get_rows_preserves_order_and_duplicates(self, shard_fixture):
+        directory, dense, _ = shard_fixture
+        store = FeatureStore.open(directory)
+        ids = [170, 3, 3, 99, 0, 170]
+        np.testing.assert_allclose(store.get_rows(ids), dense[ids])
+
+    def test_get_range_crosses_shards(self, shard_fixture):
+        directory, dense, _ = shard_fixture
+        store = FeatureStore.open(directory)
+        boundary = store.dataset.shards[0].n_rows
+        got = store.get_range(boundary - 5, boundary + 5)
+        np.testing.assert_allclose(got, dense[boundary - 5 : boundary + 5])
+
+    def test_invalid_range_rejected(self, shard_fixture):
+        directory, _, _ = shard_fixture
+        with pytest.raises(ValueError):
+            FeatureStore.open(directory).get_range(10, 5)
+
+    def test_labels_match(self, shard_fixture):
+        directory, _, labels = shard_fixture
+        store = FeatureStore.open(directory)
+        ids = [0, 57, 123, 199]
+        np.testing.assert_array_equal(store.get_labels(ids), labels[ids])
+
+    def test_returned_rows_are_copies(self, shard_fixture):
+        directory, dense, _ = shard_fixture
+        store = FeatureStore.open(directory)
+        row = store.get_row(5)
+        row[:] = -1234.0
+        np.testing.assert_allclose(store.get_row(5), dense[5])
+
+
+class TestCaching:
+    def test_decoded_lru_hits_on_repeat_access(self, shard_fixture):
+        directory, _, _ = shard_fixture
+        store = FeatureStore.open(directory, decoded_cache_blocks=2)
+        store.get_row(0)
+        store.get_row(1)  # same shard: block already decoded
+        assert store.stats.block_misses == 1
+        assert store.stats.block_hits == 1
+
+    def test_decoded_lru_evicts_oldest_block(self, shard_fixture):
+        directory, _, _ = shard_fixture
+        store = FeatureStore.open(directory, decoded_cache_blocks=1)
+        shard0_rows = store.dataset.shards[0].n_rows
+        store.get_row(0)
+        store.get_row(shard0_rows)  # decodes shard 1, evicting shard 0
+        store.get_row(0)  # must decode again
+        assert store.stats.block_misses == 3
+        assert store.stats.block_hits == 0
+
+    def test_group_lookup_decodes_each_shard_once(self, shard_fixture):
+        directory, dense, _ = shard_fixture
+        store = FeatureStore.open(directory, decoded_cache_blocks=5)
+        store.get_rows(range(dense.shape[0]))  # every row, all shards
+        assert store.stats.block_misses == len(store.dataset.shards)
+
+    def test_compressed_bytes_flow_through_pool(self, shard_fixture):
+        directory, _, _ = shard_fixture
+        dataset = ShardedDataset.open(directory)
+        pool = BufferPool(budget_bytes=dataset.total_payload_bytes())
+        store = FeatureStore(dataset, pool=pool, decoded_cache_blocks=1)
+        for row_id in (0, 50, 100, 150, 199):
+            store.get_row(row_id)
+        assert pool.stats.accesses > 0
+        assert pool.stats.bytes_read_from_disk > 0
+
+    def test_rejects_zero_cache_blocks(self, shard_fixture):
+        directory, _, _ = shard_fixture
+        with pytest.raises(ValueError):
+            FeatureStore.open(directory, decoded_cache_blocks=0)

@@ -1,0 +1,75 @@
+"""Tests for the shared thread-safe LRU cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.lru import LRUCache
+
+
+class TestLRUCache:
+    def test_round_trip_and_miss_default(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("b", default=-1) == -1
+
+    def test_capacity_bound_evicts_oldest(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert cache.get("b") == 2 and cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # now b is oldest
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_falsy_values_are_cached(self):
+        cache = LRUCache(2)
+        cache.put("zero", 0.0)
+        assert cache.get("zero", default="miss") == 0.0
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not grow
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_concurrent_mixed_access_stays_bounded(self):
+        cache = LRUCache(8)
+        errors: list[Exception] = []
+
+        def hammer(offset: int) -> None:
+            try:
+                for i in range(500):
+                    cache.put((offset + i) % 20, i)
+                    cache.get(i % 20)
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8

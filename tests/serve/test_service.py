@@ -1,0 +1,162 @@
+"""Tests for the end-to-end prediction service."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.data.registry import DATASET_PROFILES
+from repro.engine.trainer import OutOfCoreTrainer
+from repro.ml.models import LogisticRegressionModel
+from repro.ml.optimizer import GradientDescentConfig
+from repro.serve.checkpoint import ModelRegistry
+from repro.serve.feature_store import FeatureStore
+from repro.serve.service import PredictionService
+
+
+@pytest.fixture(scope="module")
+def trained_setup(tmp_path_factory):
+    """Train out-of-core, checkpoint, and keep the shard dir around."""
+    features, labels = DATASET_PROFILES["census"].classification(300, seed=5)
+    config = GradientDescentConfig(batch_size=75, epochs=2, learning_rate=0.3)
+    trainer = OutOfCoreTrainer("TOC", config, executor="serial", budget_ratio=2.0)
+    model = LogisticRegressionModel(features.shape[1], seed=0)
+    shard_dir = tmp_path_factory.mktemp("serve-shards")
+    registry_dir = tmp_path_factory.mktemp("serve-registry")
+    report = trainer.fit(model, features, labels, shard_dir, checkpoint_to=registry_dir)
+    return model, shard_dir, registry_dir, report
+
+
+class TestSingleRowPath:
+    def test_predict_id_matches_bulk_model_predict(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        with PredictionService(model, store, max_batch_size=8) as service:
+            singles = [service.predict_id(i) for i in range(20)]
+        expected = model.predict(store.get_rows(range(20)))
+        np.testing.assert_allclose(singles, expected)
+
+    def test_predict_vector_matches_model(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        row = store.get_row(7)
+        with PredictionService(model, store) as service:
+            value = service.predict_vector(row)
+        assert value == model.predict(row.reshape(1, -1))[0]
+
+    def test_concurrent_clients_get_correct_answers(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        ids = list(range(60))
+        expected = model.predict(store.get_rows(ids))
+        with PredictionService(model, store, max_batch_size=16) as service:
+            with ThreadPoolExecutor(max_workers=6) as clients:
+                got = list(clients.map(service.predict_id, ids))
+            assert service.batcher_stats.requests == len(ids)
+        np.testing.assert_allclose(got, expected)
+
+    def test_bulk_and_single_row_race_on_a_tiny_store_cache(self, trained_setup):
+        # Regression: the bulk API (client thread) and the batcher worker
+        # share the store; with a one-block decoded LRU their evictions race.
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir, decoded_cache_blocks=1)
+        ids = list(range(0, 300, 7))
+        expected = model.predict(store.get_rows(ids))
+        with PredictionService(model, store, max_batch_size=8) as service:
+            with ThreadPoolExecutor(max_workers=4) as clients:
+                bulk = [clients.submit(service.predict_ids, ids) for _ in range(3)]
+                singles = [clients.submit(service.predict_id, i) for i in ids]
+                for future in bulk:
+                    np.testing.assert_allclose(future.result(timeout=10), expected)
+                got = [future.result(timeout=10) for future in singles]
+        np.testing.assert_allclose(got, expected)
+
+    def test_row_id_without_store_rejected(self, trained_setup):
+        model, _, _, _ = trained_setup
+        with PredictionService(model) as service:
+            with pytest.raises(RuntimeError, match="feature store"):
+                service.predict_id(0)
+
+
+class TestCache:
+    def test_repeat_traffic_hits_cache(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        with PredictionService(model, store, cache_size=64) as service:
+            for _ in range(3):
+                for row_id in range(10):
+                    service.predict_id(row_id)
+            assert service.stats.cache_hits == 20
+            assert service.stats.cache_misses == 10
+            assert service.stats.cache_hit_rate == pytest.approx(2 / 3)
+            # Only the misses reached the model.
+            assert service.stats.rows_predicted == 10
+
+    def test_cache_eviction_keeps_bound(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        with PredictionService(model, store, cache_size=4) as service:
+            for row_id in range(12):
+                service.predict_id(row_id)
+            assert len(service._cache) <= 4
+
+    def test_cached_value_matches_fresh_prediction(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        with PredictionService(model, store, cache_size=8) as service:
+            first = service.predict_id(3)
+            second = service.predict_id(3)
+        assert first == second == model.predict(store.get_rows([3]))[0]
+
+
+class TestBulkPath:
+    def test_predict_ids_matches_model(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        ids = [5, 99, 200, 5]
+        with PredictionService(model, store) as service:
+            got = service.predict_ids(ids)
+        np.testing.assert_allclose(got, model.predict(store.get_rows(ids)))
+
+    def test_predict_matrix(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        matrix = store.get_rows(range(15))
+        with PredictionService(model, store) as service:
+            np.testing.assert_allclose(service.predict_matrix(matrix), model.predict(matrix))
+
+    def test_stats_count_rows_and_time(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        with PredictionService(model, store) as service:
+            service.predict_ids(range(25))
+            assert service.stats.rows_predicted == 25
+            assert service.stats.predict_seconds > 0
+            assert service.stats.predicted_rows_per_second > 0
+
+
+class TestFromRegistry:
+    def test_checkpoint_hook_publishes_a_version(self, trained_setup):
+        _, _, registry_dir, report = trained_setup
+        assert report.checkpoint_version == 1
+        assert ModelRegistry(registry_dir).versions() == [1]
+
+    def test_from_registry_serves_like_the_live_model(self, trained_setup):
+        model, shard_dir, registry_dir, _ = trained_setup
+        service, checkpoint = PredictionService.from_registry(registry_dir, shard_dir=shard_dir)
+        with service:
+            got = service.predict_ids(range(30))
+        store = FeatureStore.open(shard_dir)
+        np.testing.assert_allclose(got, model.predict(store.get_rows(range(30))))
+        assert checkpoint.version == 1
+        assert checkpoint.scheme_name == "TOC"
+
+    def test_from_registry_uses_recorded_shard_dir(self, trained_setup):
+        _, shard_dir, registry_dir, _ = trained_setup
+        service, checkpoint = PredictionService.from_registry(registry_dir)
+        with service:
+            assert service.store is not None
+            assert checkpoint.shard_dir == shard_dir
+            assert service.predict_id(0) in (0.0, 1.0)

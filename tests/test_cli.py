@@ -82,3 +82,86 @@ class TestTrainOOCCommand:
     def test_unknown_dataset_fails_cleanly(self, capsys):
         assert main(["train-ooc", "--dataset", "criteo"]) == 2
         assert "unknown dataset" in capsys.readouterr().out
+
+    def test_checkpoint_requires_shard_dir(self, capsys, tmp_path):
+        assert main(["train-ooc", "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "--shard-dir" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def served_checkpoint(tmp_path_factory):
+    """One train-ooc run with --checkpoint-dir, shared by the serving tests."""
+    shard_dir = tmp_path_factory.mktemp("cli-shards")
+    registry_dir = tmp_path_factory.mktemp("cli-registry")
+    code = main(
+        [
+            "train-ooc",
+            "--dataset", "census",
+            "--rows", "300",
+            "--batch-size", "75",
+            "--epochs", "2",
+            "--executor", "serial",
+            "--shard-dir", str(shard_dir),
+            "--checkpoint-dir", str(registry_dir),
+        ]
+    )
+    assert code == 0
+    return shard_dir, registry_dir
+
+
+class TestPredictCommand:
+    def test_predicts_stored_rows(self, capsys, served_checkpoint):
+        _, registry_dir = served_checkpoint
+        capsys.readouterr()
+        assert main(["predict", "--checkpoint-dir", str(registry_dir), "--ids", "0,5,299"]) == 0
+        out = capsys.readouterr().out
+        assert "model v00001" in out
+        assert "agreement with stored labels" in out
+
+    def test_shards_override(self, capsys, served_checkpoint):
+        shard_dir, registry_dir = served_checkpoint
+        code = main(
+            [
+                "predict",
+                "--checkpoint-dir", str(registry_dir),
+                "--shards", str(shard_dir),
+                "--ids", "1",
+            ]
+        )
+        assert code == 0
+
+    def test_missing_checkpoint_fails_cleanly(self, capsys, tmp_path):
+        assert main(["predict", "--checkpoint-dir", str(tmp_path / "none")]) == 2
+        assert "cannot load checkpoint" in capsys.readouterr().out
+
+    def test_bad_ids_rejected(self, capsys, served_checkpoint):
+        _, registry_dir = served_checkpoint
+        assert main(["predict", "--checkpoint-dir", str(registry_dir), "--ids", "a,b"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().out
+
+    def test_out_of_range_id_fails_cleanly(self, capsys, served_checkpoint):
+        _, registry_dir = served_checkpoint
+        assert main(["predict", "--checkpoint-dir", str(registry_dir), "--ids", "9999"]) == 2
+        assert "predict failed" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_reports_throughput_and_batching(self, capsys, served_checkpoint):
+        _, registry_dir = served_checkpoint
+        code = main(
+            [
+                "serve",
+                "--checkpoint-dir", str(registry_dir),
+                "--requests", "200",
+                "--clients", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "batching:" in out
+        assert "pred cache:" in out
+
+    def test_missing_checkpoint_fails_cleanly(self, capsys, tmp_path):
+        assert main(["serve", "--checkpoint-dir", str(tmp_path / "none")]) == 2
+        assert "cannot load checkpoint" in capsys.readouterr().out
