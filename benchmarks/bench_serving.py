@@ -70,11 +70,11 @@ def _measure_backend(registry_dir, n_shards: int, workload: np.ndarray, backend:
     for _ in range(MEASURE_ROUNDS):
         service, _ = PredictionService.from_registry(
             registry_dir,
-            store_kwargs=dict(decoded_cache_blocks=n_shards),
+            store_kwargs=dict(decoded_cache_rows=ROWS),
             **BACKENDS[backend],
         )
         with service:
-            service.predict_ids(range(ROWS))  # warm the decoded blocks
+            service.predict_ids(range(ROWS))  # warm the decoded rows
             start = time.perf_counter()
             with ThreadPoolExecutor(max_workers=CLIENTS) as clients:
                 list(clients.map(service.predict_id, workload))
@@ -133,7 +133,7 @@ def test_bulk_path_beats_single_row(bench_json, serving_setup):
     """The no-queue bulk API is the upper bound on the single-row path."""
     registry_dir, n_shards, workload = serving_setup
     service, _ = PredictionService.from_registry(
-        registry_dir, store_kwargs=dict(decoded_cache_blocks=n_shards)
+        registry_dir, store_kwargs=dict(decoded_cache_rows=ROWS)
     )
     with service:
         service.predict_ids(range(ROWS))  # warm

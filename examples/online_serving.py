@@ -75,9 +75,9 @@ def main() -> None:
         print(f"\n{REQUESTS} requests from {CLIENTS} clients:\n")
         print(f"{'backend':<14} {'req/s':>9} {'model calls':>12} "
               f"{'mean batch':>11} {'cache hits':>11}")
-        # A hot serving tier keeps every decoded block resident (the shards
-        # stay compressed on disk; the pool + LRU bound what is in memory).
-        store_kwargs = dict(decoded_cache_blocks=len(trainer.dataset))
+        # A hot serving tier keeps every decoded row resident (the shards
+        # stay compressed on disk; the pool + row LRU bound what is in memory).
+        store_kwargs = dict(decoded_cache_rows=ROWS)
         for label, kwargs in (
             ("unbatched", dict(max_batch_size=1, cache_size=0)),
             ("micro-batched", dict(max_batch_size=64, cache_size=0)),

@@ -100,6 +100,8 @@ def _cmd_train_ooc(args: argparse.Namespace) -> int:
         f"sharding {features.shape[0]} rows x {features.shape[1]} cols of {args.dataset!r} "
         f"as {args.scheme} (batch {args.batch_size}, encode: {executor}, {workers} workers)"
     )
+    if args.scheme == "auto":
+        print("scheme 'auto': the advisor samples every batch and picks per shard")
 
     try:
         if args.shard_dir is not None:
@@ -117,8 +119,11 @@ def _cmd_train_ooc(args: argparse.Namespace) -> int:
         print(f"train-ooc failed: {exc}")
         return 2
 
+    scheme_summary = ", ".join(
+        f"{name}x{count}" for name, count in sorted(trainer.dataset.scheme_counts().items())
+    )
     print(
-        f"shards: {len(trainer.dataset)} batches, "
+        f"shards: {len(trainer.dataset)} batches ({scheme_summary}), "
         f"{report.total_payload_bytes / 1e6:.2f} MB payload "
         f"({report.physical_bytes / 1e6:.2f} MB paged), "
         f"encoded in {report.encode_seconds:.3f}s"
@@ -238,7 +243,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             list(clients.map(service.predict_id, workload))
         wall = time.perf_counter() - start
 
-        stats, batcher, blocks = service.stats, service.batcher_stats, store.stats
+        stats, batcher, rows = service.stats, service.batcher_stats, store.stats
         print(f"\nthroughput: {args.requests / wall:,.0f} requests/s ({wall:.3f}s wall)")
         print(
             f"latency:    {stats.mean_request_seconds * 1e6:,.0f} us mean "
@@ -250,7 +255,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"pred cache: {stats.cache_hit_rate:.0%} hit rate ({stats.cache_hits} hits)")
         print(
-            f"store:      {blocks.block_hit_rate:.0%} decoded-block hit rate, "
+            f"store:      {rows.row_hit_rate:.0%} decoded-row hit rate "
+            f"({rows.shard_decodes} shard decodes), "
             f"{store.pool.stats.bytes_read_from_disk / 1e6:.2f} MB read through the pool"
         )
     return 0
@@ -284,7 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
     train_ooc.add_argument("--batch-size", type=int, default=250, help="mini-batch rows")
     train_ooc.add_argument("--epochs", type=int, default=3, help="training epochs")
     train_ooc.add_argument("--learning-rate", type=float, default=0.3, help="MGD step size")
-    train_ooc.add_argument("--scheme", default="TOC", help="compression scheme for the shards")
+    train_ooc.add_argument(
+        "--scheme",
+        default="TOC",
+        help='compression scheme for the shards, or "auto" to let the advisor '
+        "pick per shard (the manifest records the choice for every shard)",
+    )
     train_ooc.add_argument("--model", choices=("logreg", "svm"), default="logreg")
     train_ooc.add_argument("--seed", type=int, default=0, help="data / shuffle / init seed")
     train_ooc.add_argument(

@@ -88,6 +88,33 @@ class CompressedMatrix(abc.ABC):
     def to_dense(self) -> np.ndarray:
         """Fully decode to a dense matrix."""
 
+    def row_slice(self, rows) -> np.ndarray:
+        """Dense copy of the selected rows, in request order.
+
+        Validates the indices once, then delegates to :meth:`_row_slice_rows`
+        so schemes only override the kernel, not the bounds checking.
+        """
+        index = np.asarray(rows, dtype=np.intp).ravel()
+        if index.size and (index.min() < 0 or index.max() >= self.n_rows):
+            raise IndexError(f"row index out of range [0, {self.n_rows})")
+        if index.size == 0:
+            return np.empty((0, self.n_cols), dtype=np.float64)
+        return self._row_slice_rows(index)
+
+    def _row_slice_rows(self, index: np.ndarray) -> np.ndarray:
+        """Row-slice kernel for validated, non-empty indices.
+
+        Default: direct-op schemes decode the rows with a selection ``M @ A``
+        (one left multiplication on the compressed form, never the whole
+        block); byte-block schemes fall back to a full decode.  Schemes with
+        a natural row layout (DEN, CSR) override with a cheaper path.
+        """
+        if self.supports_direct_ops:
+            selection = np.zeros((index.size, self.n_rows), dtype=np.float64)
+            selection[np.arange(index.size), index] = 1.0
+            return self.rmatmat(selection)
+        return self.to_dense()[index].copy()
+
     # -- serialisation --------------------------------------------------------
 
     @abc.abstractmethod

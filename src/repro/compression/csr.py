@@ -58,6 +58,9 @@ class CSRMatrix(CompressedMatrix):
     def to_dense(self) -> np.ndarray:
         return np.asarray(self._csr.todense(), dtype=np.float64)
 
+    def _row_slice_rows(self, index: np.ndarray) -> np.ndarray:
+        return np.asarray(self._csr[index].todense(), dtype=np.float64)
+
     def to_scipy(self) -> sp.csr_matrix:
         """Return the underlying SciPy CSR matrix (no copy)."""
         return self._csr

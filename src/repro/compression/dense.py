@@ -48,6 +48,9 @@ class DenseMatrix(CompressedMatrix):
     def to_dense(self) -> np.ndarray:
         return self._data.copy()
 
+    def _row_slice_rows(self, index: np.ndarray) -> np.ndarray:
+        return self._data[index].copy()
+
     def to_bytes(self) -> bytes:
         header = np.array(self.shape, dtype=_HEADER_DTYPE).tobytes()
         return header + self._data.tobytes()

@@ -14,12 +14,19 @@ imply but the seed code never assembled:
    (:mod:`repro.engine.trainer`), or hand the shards to a Bismarck session.
 """
 
-from repro.engine.encode import EncodedBatch, encode_batches, resolve_executor, resolve_workers
+from repro.engine.encode import (
+    AUTO_SCHEME,
+    EncodedBatch,
+    encode_batches,
+    resolve_executor,
+    resolve_workers,
+)
 from repro.engine.prefetch import prefetch_iter
 from repro.engine.shards import ShardedDataset, ShardInfo
 from repro.engine.trainer import OOCTrainReport, OutOfCoreTrainer
 
 __all__ = [
+    "AUTO_SCHEME",
     "EncodedBatch",
     "OOCTrainReport",
     "OutOfCoreTrainer",

@@ -1,4 +1,4 @@
-"""Multi-worker shard encode pipeline.
+"""Multi-worker shard encode pipeline with per-batch scheme selection.
 
 Encoding is the expensive, embarrassingly-parallel half of the out-of-core
 story: every mini-batch is compressed exactly once (shuffle-once discipline)
@@ -6,11 +6,20 @@ and the per-batch ``TOCMatrix.encode`` calls share nothing, so they fan out
 cleanly over a ``concurrent.futures`` executor.  Workers return serialised
 payload bytes (via ``to_bytes``), which is both what gets written to the
 shard files and the only thing that has to cross the process boundary.
+
+Scheme selection is per batch.  Besides a fixed scheme name, callers may
+pass :data:`AUTO_SCHEME` (``"auto"``) — the paper's Section 5.1 advice made
+operational: each worker runs the scheme advisor on a row sample of *its*
+batch and compresses with the winner, so a mixed-density dataset ends up
+with TOC on its sparse shards and DEN (or whatever wins) on its dense ones.
+The chosen name travels back in :attr:`EncodedBatch.scheme` and is recorded
+per shard in the manifest.
 """
 
 from __future__ import annotations
 
 import os
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -19,23 +28,47 @@ import numpy as np
 #: Valid values for the ``executor`` argument of :func:`encode_batches`.
 EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
 
+#: Scheme name that triggers per-batch advisor-driven selection.
+AUTO_SCHEME = "auto"
+
+#: How many rows of a batch the advisor samples in ``auto`` mode.  The first
+#: rows are used — batches come out of a shuffled split, so a deterministic
+#: prefix is already a random sample, and determinism keeps serial / thread /
+#: process encodes byte-identical.
+AUTO_SAMPLE_ROWS = 100
+
 
 @dataclass(frozen=True)
 class EncodedBatch:
-    """One mini-batch after compression: id, payload bytes, and shape."""
+    """One mini-batch after compression: id, payload bytes, scheme, shape."""
 
     batch_id: int
     payload: bytes
     n_rows: int
     n_cols: int
+    scheme: str = "TOC"
 
     @property
     def nbytes(self) -> int:
         return len(self.payload)
 
 
+def resolve_scheme_name(scheme_name: str, features: np.ndarray) -> str:
+    """Map :data:`AUTO_SCHEME` to a concrete scheme for one batch.
+
+    Fixed names pass through untouched; ``"auto"`` runs the advisor on a row
+    sample of ``features`` and returns the winner.
+    """
+    if scheme_name != AUTO_SCHEME:
+        return scheme_name
+    from repro.core.advisor import recommend_scheme
+
+    sample = features[: min(features.shape[0], AUTO_SAMPLE_ROWS)]
+    return recommend_scheme(sample).best.name
+
+
 def _encode_one(task: tuple[int, np.ndarray, str]) -> EncodedBatch:
-    """Worker body: compress one batch with the named scheme.
+    """Worker body: compress one batch with the named (or advised) scheme.
 
     Top-level function so it pickles cleanly into ``ProcessPoolExecutor``
     workers; the scheme is looked up by name inside the worker for the same
@@ -44,12 +77,14 @@ def _encode_one(task: tuple[int, np.ndarray, str]) -> EncodedBatch:
     from repro.compression.registry import get_scheme
 
     batch_id, features, scheme_name = task
-    compressed = get_scheme(scheme_name).compress(features)
+    resolved = resolve_scheme_name(scheme_name, features)
+    compressed = get_scheme(resolved).compress(features)
     return EncodedBatch(
         batch_id=batch_id,
         payload=compressed.to_bytes(),
         n_rows=int(features.shape[0]),
         n_cols=int(features.shape[1]),
+        scheme=resolved,
     )
 
 
@@ -77,22 +112,33 @@ def resolve_executor(executor: str, workers: int) -> str:
 
 def encode_batches(
     feature_batches: list[np.ndarray],
-    scheme_name: str = "TOC",
+    scheme_name: str | Sequence[str] = "TOC",
     *,
     workers: int | None = None,
     executor: str = "auto",
 ) -> list[EncodedBatch]:
-    """Compress every batch with ``scheme_name``, fanning out over workers.
+    """Compress every batch, fanning out over workers.
 
-    Results come back in batch order regardless of executor scheduling.
-    ``executor`` is one of ``"auto"`` (processes when multiple cores are
-    available), ``"serial"``, ``"thread"``, or ``"process"``.
+    ``scheme_name`` is a single name applied to every batch (including
+    :data:`AUTO_SCHEME` for per-batch advisor selection) or a sequence naming
+    the scheme for each batch individually.  Results come back in batch order
+    regardless of executor scheduling, each carrying the scheme actually
+    used.  ``executor`` is one of ``"auto"`` (processes when multiple cores
+    are available), ``"serial"``, ``"thread"``, or ``"process"``.
     """
     n_workers = resolve_workers(workers)
     kind = resolve_executor(executor, n_workers)
+    if isinstance(scheme_name, str):
+        per_batch = [scheme_name] * len(feature_batches)
+    else:
+        per_batch = list(scheme_name)
+        if len(per_batch) != len(feature_batches):
+            raise ValueError(
+                f"got {len(per_batch)} scheme names for {len(feature_batches)} batches"
+            )
     tasks = [
-        (batch_id, np.asarray(features, dtype=np.float64), scheme_name)
-        for batch_id, features in enumerate(feature_batches)
+        (batch_id, np.asarray(features, dtype=np.float64), name)
+        for batch_id, (features, name) in enumerate(zip(feature_batches, per_batch))
     ]
     if not tasks:
         raise ValueError("at least one mini-batch is required")

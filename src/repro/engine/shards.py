@@ -6,7 +6,7 @@ mini-batch plus a JSON manifest and the label vectors:
 .. code-block:: text
 
     shards/
-      manifest.json     # scheme, shard table, encode provenance
+      manifest.json     # per-shard schemes, shard table, encode provenance
       labels.npz        # one label array per batch
       shard-00000.bin   # serialised compressed batch 0
       shard-00001.bin   # ...
@@ -16,25 +16,47 @@ registered scheme round-trips through its own ``decompress_bytes``.  The
 store is deliberately dumb — durability and layout live here, while caching
 policy stays in :class:`repro.storage.buffer_pool.BufferPool`, which shards
 attach to as lazy :class:`~repro.storage.buffer_pool.DiskBlob` entries.
+
+Manifest format v2 records the compression scheme *per shard* (what
+``scheme="auto"`` encoding produces on mixed-density data); v1 manifests —
+one dataset-wide ``"scheme"`` key — are still read and upgraded on the fly
+by applying that scheme to every shard.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import warnings
+from collections import Counter
+from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.engine.encode import EncodedBatch, encode_batches, resolve_executor, resolve_workers
+from repro.compression.base import CompressedMatrix, CompressionScheme
+from repro.compression.registry import get_scheme
+from repro.engine.encode import (
+    AUTO_SCHEME,
+    EncodedBatch,
+    encode_batches,
+    resolve_executor,
+    resolve_workers,
+)
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pages import stored_bytes
 from repro.storage.table import BlobTable
 
 MANIFEST_NAME = "manifest.json"
 LABELS_NAME = "labels.npz"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Manifest versions :meth:`ShardedDataset.open` understands.
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
+
+#: The dataset-level scheme name reported when shards mix schemes.
+MIXED_SCHEME = "mixed"
 
 
 @dataclass(frozen=True)
@@ -46,6 +68,7 @@ class ShardInfo:
     nbytes: int
     n_rows: int
     n_cols: int
+    scheme: str = "TOC"
 
 
 class ShardedDataset:
@@ -54,16 +77,18 @@ class ShardedDataset:
     def __init__(
         self,
         directory: Path,
-        scheme_name: str,
         shards: list[ShardInfo],
         labels: dict[int, np.ndarray],
         encode_seconds: float = 0.0,
+        requested_scheme: str | list[str] | None = None,
     ):
         self.directory = Path(directory)
-        self.scheme_name = scheme_name
         self.shards = list(shards)
         self._labels = labels
         self.encode_seconds = encode_seconds
+        #: What the encoder was asked for (e.g. ``"auto"``), for provenance.
+        self.requested_scheme = requested_scheme
+        self._schemes: dict[str, CompressionScheme] = {}
 
     # -- creation -------------------------------------------------------------
 
@@ -72,12 +97,17 @@ class ShardedDataset:
         cls,
         directory: Path | str,
         batches: list[tuple[np.ndarray, np.ndarray]],
-        scheme_name: str = "TOC",
+        scheme_name: str | Sequence[str] = "TOC",
         *,
         workers: int | None = None,
         executor: str = "auto",
     ) -> "ShardedDataset":
-        """Encode ``(features, labels)`` batches in parallel and persist them."""
+        """Encode ``(features, labels)`` batches in parallel and persist them.
+
+        ``scheme_name`` may be any registered scheme, ``"auto"`` to let the
+        advisor pick per batch, or a sequence naming a scheme per batch; the
+        manifest records the scheme actually used for every shard.
+        """
         if not batches:
             raise ValueError("at least one mini-batch is required")
         directory = Path(directory)
@@ -102,9 +132,16 @@ class ShardedDataset:
             label_arrays[f"y{enc.batch_id:05d}"] = labels[enc.batch_id]
 
         np.savez(directory / LABELS_NAME, **label_arrays)
+        requested = scheme_name if isinstance(scheme_name, str) else list(scheme_name)
+        dataset = cls(
+            directory, shards, labels, encode_seconds, requested_scheme=requested
+        )
         manifest = {
             "format_version": FORMAT_VERSION,
-            "scheme": scheme_name,
+            # Dataset-level summary (the uniform scheme, or "mixed"); the
+            # authoritative per-shard schemes live in the shard rows.
+            "scheme": dataset.scheme_name,
+            "requested_scheme": requested,
             "encode_seconds": encode_seconds,
             # Provenance: the executor actually used, not the requested kind
             # ("auto" resolves differently per machine).
@@ -112,7 +149,7 @@ class ShardedDataset:
             "shards": [vars(s) for s in shards],
         }
         (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
-        return cls(directory, scheme_name, shards, labels, encode_seconds)
+        return dataset
 
     @staticmethod
     def _write_shard(directory: Path, enc: EncodedBatch) -> ShardInfo:
@@ -124,31 +161,73 @@ class ShardedDataset:
             nbytes=enc.nbytes,
             n_rows=enc.n_rows,
             n_cols=enc.n_cols,
+            scheme=enc.scheme,
         )
 
     @classmethod
     def open(cls, directory: Path | str) -> "ShardedDataset":
-        """Load an existing shard directory from its manifest."""
+        """Load an existing shard directory from its manifest (v1 or v2)."""
         directory = Path(directory)
         manifest_path = directory / MANIFEST_NAME
         if not manifest_path.exists():
             raise FileNotFoundError(f"no shard manifest at {manifest_path}")
         manifest = json.loads(manifest_path.read_text())
-        if manifest.get("format_version") != FORMAT_VERSION:
+        version = manifest.get("format_version")
+        if version not in SUPPORTED_FORMAT_VERSIONS:
             raise ValueError(
-                f"unsupported shard format {manifest.get('format_version')!r} "
-                f"(expected {FORMAT_VERSION})"
+                f"unsupported shard format {version!r} "
+                f"(expected one of {SUPPORTED_FORMAT_VERSIONS})"
             )
-        shards = [ShardInfo(**row) for row in manifest["shards"]]
+        if version == 1:
+            # v1: one dataset-wide scheme; upgrade by stamping it per shard.
+            default_scheme = manifest["scheme"]
+            shards = [
+                ShardInfo(**row, scheme=default_scheme) for row in manifest["shards"]
+            ]
+        else:
+            shards = [ShardInfo(**row) for row in manifest["shards"]]
         with np.load(directory / LABELS_NAME) as archive:
             labels = {s.batch_id: archive[f"y{s.batch_id:05d}"] for s in shards}
         return cls(
             directory,
-            manifest["scheme"],
             shards,
             labels,
             encode_seconds=float(manifest.get("encode_seconds", 0.0)),
+            requested_scheme=manifest.get("requested_scheme", manifest.get("scheme")),
         )
+
+    # -- schemes --------------------------------------------------------------
+
+    @property
+    def scheme_name(self) -> str:
+        """The uniform scheme name, or ``"mixed"`` when shards differ."""
+        names = {shard.scheme for shard in self.shards}
+        return names.pop() if len(names) == 1 else MIXED_SCHEME
+
+    @property
+    def is_mixed(self) -> bool:
+        return len({shard.scheme for shard in self.shards}) > 1
+
+    def scheme_counts(self) -> dict[str, int]:
+        """How many shards each scheme compressed (manifest summary)."""
+        return dict(Counter(shard.scheme for shard in self.shards))
+
+    def scheme_for(self, batch_id: int) -> CompressionScheme:
+        """The (cached) scheme instance that decodes shard ``batch_id``."""
+        name = self.shards[batch_id].scheme
+        if name not in self._schemes:
+            self._schemes[name] = get_scheme(name)
+        return self._schemes[name]
+
+    def decode(self, batch_id: int, payload: bytes | None = None) -> CompressedMatrix:
+        """Rebuild one shard's compressed matrix with *its* scheme.
+
+        ``payload`` lets callers that read through a buffer pool hand over
+        the bytes they already have; otherwise the shard file is read.
+        """
+        if payload is None:
+            payload = self.read_payload(batch_id)
+        return self.scheme_for(batch_id).decompress_bytes(payload)
 
     # -- access ---------------------------------------------------------------
 
@@ -168,9 +247,22 @@ class ShardedDataset:
             path = self.directory / shard.filename
             pool.put_on_disk(shard.batch_id, size=shard.nbytes, loader=path.read_bytes)
 
-    def as_blob_table(self, pool: BufferPool, scheme) -> BlobTable:
-        """Expose the shards as a Bismarck-style blob table over ``pool``."""
-        table = BlobTable(scheme, pool)
+    def as_blob_table(self, pool: BufferPool, scheme: CompressionScheme | None = None) -> BlobTable:
+        """Expose the shards as a Bismarck-style blob table over ``pool``.
+
+        The decoder for every row is resolved from the manifest, so callers
+        no longer pass the scheme the dataset already records; the parameter
+        is deprecated and ignored apart from the warning.
+        """
+        if scheme is not None:
+            warnings.warn(
+                "as_blob_table(scheme=...) is deprecated: the manifest already "
+                "records each shard's scheme and the table resolves decoders "
+                "from it",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        table = BlobTable(None, pool)
         for shard in self.shards:
             path = self.directory / shard.filename
             table.add_encoded(
@@ -178,6 +270,7 @@ class ShardedDataset:
                 self._labels[shard.batch_id],
                 size=shard.nbytes,
                 loader=path.read_bytes,
+                scheme=self.scheme_for(shard.batch_id),
             )
         return table
 
@@ -196,3 +289,14 @@ class ShardedDataset:
     def physical_bytes(self) -> int:
         """On-disk size after page layout (includes the fudge factor)."""
         return stored_bytes(self.payload_sizes())
+
+
+__all__ = [
+    "AUTO_SCHEME",
+    "FORMAT_VERSION",
+    "LABELS_NAME",
+    "MANIFEST_NAME",
+    "MIXED_SCHEME",
+    "ShardInfo",
+    "ShardedDataset",
+]

@@ -16,9 +16,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.compression.base import CompressionScheme
 from repro.compression.registry import get_scheme
 from repro.data.minibatch import split_minibatches
-from repro.engine.encode import resolve_executor, resolve_workers
+from repro.engine.encode import AUTO_SCHEME, resolve_executor, resolve_workers
 from repro.engine.prefetch import prefetch_iter
 from repro.engine.shards import ShardedDataset
 from repro.ml.optimizer import GradientDescentConfig, MiniBatchGradientDescent, TrainingHistory
@@ -60,8 +61,10 @@ class OutOfCoreTrainer:
     Parameters
     ----------
     scheme_name:
-        Compression scheme for the shards (any registered scheme; TOC is the
-        point of the paper).
+        Compression scheme for the shards: any registered scheme (TOC is the
+        point of the paper) or ``"auto"`` to let the advisor pick per shard.
+        Decoding always resolves per shard from the manifest, so a trainer
+        can attach and train any dataset whose shards mix schemes.
     config:
         MGD hyper-parameters (batch size, epochs, learning rate, seed).
     budget_bytes / budget_ratio:
@@ -92,7 +95,11 @@ class OutOfCoreTrainer:
         if budget_bytes is not None and budget_bytes <= 0:
             raise ValueError("budget_bytes must be positive")
         resolve_executor(executor, resolve_workers(workers))  # fail fast on bad knobs
-        self.scheme = get_scheme(scheme_name)
+        self.scheme_name = scheme_name
+        #: The fixed encode scheme, or ``None`` in per-shard ``"auto"`` mode.
+        self.scheme: CompressionScheme | None = (
+            None if scheme_name == AUTO_SCHEME else get_scheme(scheme_name)
+        )
         self.config = config or GradientDescentConfig()
         self.budget_bytes = budget_bytes
         self.budget_ratio = budget_ratio
@@ -122,7 +129,7 @@ class OutOfCoreTrainer:
         dataset = ShardedDataset.create(
             shard_dir,
             batches,
-            self.scheme.name,
+            self.scheme_name,
             workers=self.workers,
             executor=self.executor,
         )
@@ -130,11 +137,18 @@ class OutOfCoreTrainer:
         return dataset
 
     def attach(self, dataset: ShardedDataset) -> BufferPool:
-        """Attach an existing shard directory behind a fresh buffer pool."""
-        if dataset.scheme_name != self.scheme.name:
+        """Attach an existing shard directory behind a fresh buffer pool.
+
+        Decoding resolves per shard from the manifest, so any dataset —
+        uniform or mixed-scheme — trains through an ``"auto"`` trainer.  A
+        trainer pinned to one scheme still refuses foreign shard directories:
+        that mismatch is a caller error worth failing loudly on.
+        """
+        if self.scheme is not None and dataset.scheme_name != self.scheme.name:
             raise ValueError(
                 f"shards were encoded with {dataset.scheme_name!r} but this trainer "
-                f"decodes {self.scheme.name!r}"
+                f"is pinned to {self.scheme.name!r} (use scheme_name='auto' to "
+                f"train over any shard mix)"
             )
         budget = self.budget_bytes
         if budget is None:
@@ -152,7 +166,9 @@ class OutOfCoreTrainer:
 
     def _fetch(self, batch_id: int):
         payload = self.pool.read(batch_id)
-        return self.scheme.decompress_bytes(payload), self.dataset.labels_for(batch_id)
+        # Per-shard decode: the manifest names each shard's scheme, so mixed
+        # datasets stream through the same prefetch loop as uniform ones.
+        return self.dataset.decode(batch_id, payload), self.dataset.labels_for(batch_id)
 
     def train(self, model, eval_fn=None) -> OOCTrainReport:
         """Run the configured epochs, streaming shards with read-ahead."""
@@ -218,12 +234,14 @@ class OutOfCoreTrainer:
         registry = ModelRegistry(registry_root)
         version = registry.save(
             model,
-            scheme_name=self.scheme.name,
+            scheme_name=self.dataset.scheme_name,
             dataset_meta={
                 "shard_dir": str(self.dataset.directory.resolve()),
                 "n_examples": self.dataset.n_examples,
                 "n_shards": len(self.dataset),
                 "scheme": self.dataset.scheme_name,
+                "requested_scheme": self.scheme_name,
+                "scheme_counts": self.dataset.scheme_counts(),
             },
         )
         return version, registry.path_for(version)
@@ -239,5 +257,7 @@ class OutOfCoreTrainer:
         """
         if self.dataset is None or self.pool is None:
             raise RuntimeError("call shard() or attach() before bismarck_session()")
-        table = self.dataset.as_blob_table(self.pool, self.scheme)
+        # The table resolves each row's decoder from the manifest, so the
+        # session works for uniform and mixed-scheme shard directories alike.
+        table = self.dataset.as_blob_table(self.pool)
         return BismarckSession(self.scheme, self.pool, arena=arena, table=table)

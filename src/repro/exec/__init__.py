@@ -1,0 +1,45 @@
+"""repro.exec — the unified kernel-dispatch execution layer.
+
+Every numerical consumer in the stack (the MGD models, the convolution
+layer, the out-of-core trainer, the feature store) expresses its work as one
+of seven kernels — ``matvec``, ``rmatvec``, ``matmat``, ``rmatmat``,
+``scale``, ``to_dense``, ``row_slice`` — and this package owns resolving
+each kernel for whatever representation the batch happens to be in: a
+:class:`~repro.compression.base.CompressedMatrix` of any registered scheme,
+a SciPy sparse matrix, a plain ndarray, or a duck-typed stand-in.
+
+Dispatch lives *only* here.  Callers never probe representations with
+``isinstance`` or ``hasattr`` themselves; they call the kernel functions and
+the dispatcher picks the implementation.  That single choke point is what
+lets per-shard heterogeneous compression (``scheme="auto"``) flow through
+training and serving untouched: a TOC shard and a DEN shard of the same
+dataset execute through the same seven entry points.
+"""
+
+from repro.exec.dispatch import (
+    KernelSet,
+    kernels_for,
+    matmat,
+    matvec,
+    register_kernels,
+    rmatmat,
+    rmatvec,
+    row_slice,
+    scale,
+    supports_direct_ops,
+    to_dense,
+)
+
+__all__ = [
+    "KernelSet",
+    "kernels_for",
+    "matmat",
+    "matvec",
+    "register_kernels",
+    "rmatmat",
+    "rmatvec",
+    "row_slice",
+    "scale",
+    "supports_direct_ops",
+    "to_dense",
+]

@@ -7,37 +7,24 @@ Each model exposes
   update computed *through the compressed matrix operations*,
 * ``loss(batch, targets)`` and ``predict(batch)`` for evaluation.
 
-``batch`` may be anything implementing the
-:class:`repro.compression.base.CompressedMatrix` interface or a plain NumPy
-array (wrapped on the fly), so the same model runs on every scheme.
+``batch`` may be anything the :mod:`repro.exec` dispatch layer understands —
+a :class:`repro.compression.base.CompressedMatrix` of any scheme, a SciPy
+sparse matrix, or a plain NumPy array — so the same model runs on every
+scheme, including datasets whose shards mix schemes.
 
 The mapping between models and the compressed core ops follows Table 1 of
 the paper: the generalised linear models need ``A @ v`` (forward scores) and
 ``v @ A`` (gradient aggregation); the feed-forward network needs ``A @ M``
-and ``M @ A``.
+and ``M @ A``.  All four are invoked through :mod:`repro.exec`, which owns
+resolving the kernel for the batch's representation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import CompressedMatrix
-from repro.compression.dense import DenseMatrix
+from repro import exec as kernels
 from repro.ml.losses import CrossEntropyLoss, HingeLoss, LogisticLoss, SquaredLoss
-
-
-def as_compressed(batch) -> CompressedMatrix:
-    """Wrap a plain ndarray in the DEN scheme; pass compressed batches through.
-
-    Anything already exposing the compressed-matrix operations (including
-    wrappers and test doubles that are not ``CompressedMatrix`` subclasses)
-    is passed through untouched.
-    """
-    if isinstance(batch, CompressedMatrix):
-        return batch
-    if hasattr(batch, "matvec") and hasattr(batch, "rmatvec"):
-        return batch
-    return DenseMatrix(np.asarray(batch, dtype=np.float64))
 
 
 class _LinearModel:
@@ -61,8 +48,7 @@ class _LinearModel:
 
     def scores(self, batch) -> np.ndarray:
         """Raw scores ``A @ w + b`` via the compressed right multiplication."""
-        compressed = as_compressed(batch)
-        return compressed.matvec(self.weights) + self.bias
+        return kernels.matvec(batch, self.weights) + self.bias
 
     def loss(self, batch, targets: np.ndarray) -> float:
         value = self.loss_fn.value(self.scores(batch), targets)
@@ -72,9 +58,8 @@ class _LinearModel:
 
     def gradient(self, batch, targets: np.ndarray) -> tuple[np.ndarray, float]:
         """Gradient w.r.t. (weights, bias) using ``A @ v`` then ``v @ A``."""
-        compressed = as_compressed(batch)
-        score_grad = self.loss_fn.gradient(self.scores(compressed), targets)
-        weight_grad = compressed.rmatvec(score_grad)
+        score_grad = self.loss_fn.gradient(self.scores(batch), targets)
+        weight_grad = kernels.rmatvec(batch, score_grad)
         if self.l2:
             weight_grad = weight_grad + self.l2 * self.weights
         bias_grad = float(np.sum(score_grad))
@@ -190,9 +175,8 @@ class FeedForwardNetwork:
 
     def _forward(self, batch) -> tuple[list[np.ndarray], np.ndarray]:
         """Return hidden activations and output scores for a batch."""
-        compressed = as_compressed(batch)
         # First layer: compressed right multiplication A @ W1.
-        pre = compressed.matmat(self.weights[0]) + self.biases[0]
+        pre = kernels.matmat(batch, self.weights[0]) + self.biases[0]
         activations = [self._sigmoid(pre)]
         for weight, bias in zip(self.weights[1:-1], self.biases[1:-1]):
             pre = activations[-1] @ weight + bias
@@ -214,8 +198,7 @@ class FeedForwardNetwork:
 
     def gradient_step(self, batch, targets: np.ndarray, learning_rate: float) -> None:
         """One backprop + SGD update over a (compressed) mini-batch."""
-        compressed = as_compressed(batch)
-        activations, scores = self._forward(compressed)
+        activations, scores = self._forward(batch)
         delta = self._loss.gradient(scores, targets)  # (n, n_classes)
 
         weight_grads: list[np.ndarray] = [None] * len(self.weights)
@@ -231,7 +214,7 @@ class FeedForwardNetwork:
 
         # First layer gradient: (delta^T @ A)^T computed with the compressed
         # left multiplication M @ A.
-        weight_grads[0] = compressed.rmatmat(delta.T).T
+        weight_grads[0] = kernels.rmatmat(batch, delta.T).T
         bias_grads[0] = delta.sum(axis=0)
 
         for layer, (w_grad, b_grad) in enumerate(zip(weight_grads, bias_grads)):

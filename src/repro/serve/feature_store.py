@@ -3,15 +3,26 @@
 The training engine reads whole shards; serving needs individual rows.  The
 feature store maps a global row id onto (shard, local row) with the manifest
 row counts, reads the compressed payload through the same byte-budgeted
-:class:`~repro.storage.buffer_pool.BufferPool` the trainer uses, and keeps a
-small LRU of *decoded* blocks on top — so a point lookup decodes a shard at
-most once per cache residency instead of once per row, and a range or batch
-lookup touches each shard exactly once.
+:class:`~repro.storage.buffer_pool.BufferPool` the trainer uses, resolves
+the decoder *per shard* from the manifest (so mixed-scheme directories serve
+exactly like uniform ones), and decodes **only the requested rows** with the
+:func:`repro.exec.row_slice` kernel — an array slice for DEN shards, SciPy
+row indexing for CSR, a selection ``M @ A`` on the compressed form for TOC —
+never the whole dense block.
 
-Both caches are deliberately separate: the buffer pool bounds resident
-*compressed* bytes (the paper's RAM-budget mechanism), while the decoded LRU
-bounds how many *dense* blocks exist at a time (dense blocks are 5–20x
-larger, so caching them all would defeat the compression).
+On top sit two small LRUs.  The *row* LRU holds decoded rows keyed by
+global row id; caching rows instead of whole blocks keeps the dense
+footprint proportional to the working set of the traffic, not to
+``shard_rows x shards_touched`` — a point lookup no longer drags a few
+hundred dense neighbours into memory with it.  The *parsed* LRU holds a few
+shards in sliceable form so consecutive misses into the same shard skip the
+expensive part: for direct-op schemes that is the parsed ``CompressedMatrix``
+(still compressed — it does not defeat the compression the way caching every
+dense block did); for byte-block schemes (Gzip/Snappy), whose only row path
+is a full inflate, it is the inflated dense block, since re-inflating per
+miss would be strictly worse.  Either form row-slices through the same
+:func:`repro.exec.row_slice` dispatch.  The buffer pool underneath still
+bounds resident compressed *bytes* (the paper's RAM-budget mechanism).
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.compression.registry import get_scheme
+from repro.exec import row_slice, supports_direct_ops
 from repro.serve.lru import LRUCache
 from repro.storage.buffer_pool import BufferPool
 
@@ -38,16 +49,18 @@ class FeatureStoreStats:
 
     lookups: int = 0
     rows_served: int = 0
-    block_hits: int = 0
-    block_misses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    shard_decodes: int = 0
+    payload_parses: int = 0
 
     @property
-    def block_accesses(self) -> int:
-        return self.block_hits + self.block_misses
+    def row_accesses(self) -> int:
+        return self.row_hits + self.row_misses
 
     @property
-    def block_hit_rate(self) -> float:
-        return self.block_hits / self.block_accesses if self.block_accesses else 0.0
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.row_accesses if self.row_accesses else 0.0
 
 
 class FeatureStore:
@@ -61,8 +74,11 @@ class FeatureStore:
         Buffer pool for the compressed payloads.  When omitted, one is built
         with ``budget_bytes`` (default: the full payload fits — serving wants
         hot data resident; pass a smaller budget to model a RAM-starved tier).
-    decoded_cache_blocks:
-        How many decoded dense blocks the LRU holds (≥ 1).
+    decoded_cache_rows:
+        How many decoded dense rows the LRU holds (>= 1).
+    parsed_cache_shards:
+        How many parsed (still compressed) shard matrices to keep so misses
+        into a recently-touched shard skip re-parsing its payload (>= 1).
     """
 
     def __init__(
@@ -71,18 +87,24 @@ class FeatureStore:
         *,
         pool: BufferPool | None = None,
         budget_bytes: int | None = None,
-        decoded_cache_blocks: int = 4,
+        decoded_cache_rows: int = 1024,
+        parsed_cache_shards: int = 8,
     ):
-        if decoded_cache_blocks < 1:
-            raise ValueError("decoded_cache_blocks must be at least 1")
+        if decoded_cache_rows < 1:
+            raise ValueError("decoded_cache_rows must be at least 1")
+        if parsed_cache_shards < 1:
+            raise ValueError("parsed_cache_shards must be at least 1")
         self.dataset = dataset
-        self.scheme = get_scheme(dataset.scheme_name)
         if pool is None:
             pool = BufferPool(budget_bytes=budget_bytes or max(1, dataset.total_payload_bytes()))
         dataset.attach(pool)
         self.pool = pool
-        self.decoded_cache_blocks = decoded_cache_blocks
-        self._decoded: LRUCache = LRUCache(decoded_cache_blocks)
+        self.decoded_cache_rows = decoded_cache_rows
+        self.parsed_cache_shards = parsed_cache_shards
+        #: LRU of decoded rows keyed by global row id.
+        self._rows: LRUCache = LRUCache(decoded_cache_rows)
+        #: LRU of parsed ``CompressedMatrix`` objects keyed by batch id.
+        self._parsed: LRUCache = LRUCache(parsed_cache_shards)
         self.stats = FeatureStoreStats()
         # Guards stats and the (single-threaded) buffer pool: the store is
         # shared between client threads (bulk API) and the batcher worker.
@@ -123,54 +145,68 @@ class FeatureStore:
         shard_index = bisect_right(self._offsets, row_id) - 1
         return self.dataset.shards[shard_index].batch_id, row_id - self._offsets[shard_index]
 
-    # -- block access ---------------------------------------------------------
+    # -- decode ---------------------------------------------------------------
 
-    def decoded_block(self, batch_id: int) -> np.ndarray:
-        """The dense form of one shard, through the decoded-block LRU."""
-        cached = self._decoded.get(batch_id)
-        if cached is not None:
+    def _decode_rows(self, batch_id: int, local_rows: list[int]) -> np.ndarray:
+        """Row-slice one shard with its own scheme, through the buffer pool."""
+        sliceable = self._parsed.get(batch_id)
+        if sliceable is None:
             with self._lock:
-                self.stats.block_hits += 1
-            return cached
+                # The pool is not thread-safe, so the read stays under the
+                # lock; a racing miss parses twice and last-write-wins.
+                self.stats.payload_parses += 1
+                payload = self.pool.read(batch_id)
+            sliceable = self.dataset.decode(batch_id, payload)
+            if not supports_direct_ops(sliceable):
+                # Byte-block schemes can only row-slice via a full inflate;
+                # cache the inflated block so misses don't re-inflate it.
+                sliceable = sliceable.to_dense()
+            self._parsed.put(batch_id, sliceable)
         with self._lock:
-            # The pool is not thread-safe, so the read stays under the lock;
-            # a racing miss decodes twice and last-write-wins on the put.
-            self.stats.block_misses += 1
-            payload = self.pool.read(batch_id)
-        block = self.scheme.decompress_bytes(payload).to_dense()
-        self._decoded.put(batch_id, block)
-        return block
+            self.stats.shard_decodes += 1
+        return row_slice(sliceable, local_rows)
 
     # -- row access -----------------------------------------------------------
 
     def get_row(self, row_id: int) -> np.ndarray:
         """One feature row (a copy, safe to mutate)."""
-        batch_id, local = self.locate(row_id)
-        with self._lock:
-            self.stats.lookups += 1
-            self.stats.rows_served += 1
-        return self.decoded_block(batch_id)[local].copy()
+        return self.get_rows([row_id])[0]
 
     def get_rows(self, row_ids: Iterable[int]) -> np.ndarray:
-        """Many rows as one dense matrix, decoding each touched shard once.
+        """Many rows as one dense matrix, touching each shard at most once.
 
         Rows come back in request order; duplicate ids are allowed (a cache
-        serving repeat traffic produces them naturally).
+        serving repeat traffic produces them naturally).  Cached rows are
+        served from the row LRU; the misses of each touched shard are decoded
+        with one ``row_slice`` call on its compressed form.
         """
         ids = [int(r) for r in row_ids]
+        located = [self.locate(r) for r in ids]
+        out = np.empty((len(ids), self.n_cols), dtype=np.float64)
+
+        hits = 0
+        # Group cache-missing positions by shard so each compressed block is
+        # parsed and row-sliced exactly once per lookup.
+        missing_by_shard: dict[int, list[int]] = {}
+        for position, row_id in enumerate(ids):
+            cached = self._rows.get(row_id)
+            if cached is not None:
+                out[position] = cached
+                hits += 1
+            else:
+                missing_by_shard.setdefault(located[position][0], []).append(position)
         with self._lock:
             self.stats.lookups += 1
             self.stats.rows_served += len(ids)
-        out = np.empty((len(ids), self.n_cols), dtype=np.float64)
-        # Group positions by shard so each block is fetched exactly once.
-        by_shard: dict[int, list[int]] = {}
-        located = [self.locate(r) for r in ids]
-        for position, (batch_id, _) in enumerate(located):
-            by_shard.setdefault(batch_id, []).append(position)
-        for batch_id, positions in by_shard.items():
-            block = self.decoded_block(batch_id)
-            for position in positions:
-                out[position] = block[located[position][1]]
+            self.stats.row_hits += hits
+            self.stats.row_misses += len(ids) - hits
+
+        for batch_id, positions in missing_by_shard.items():
+            local_rows = [located[position][1] for position in positions]
+            decoded = self._decode_rows(batch_id, local_rows)
+            for row, position in zip(decoded, positions):
+                out[position] = row
+                self._rows.put(ids[position], row.copy())
         return out
 
     def get_range(self, start: int, stop: int) -> np.ndarray:

@@ -74,7 +74,7 @@ class BismarckSession:
 
     def __init__(
         self,
-        scheme: CompressionScheme,
+        scheme: CompressionScheme | None,
         buffer_pool: BufferPool,
         arena: ModelArena | None = None,
         table: BlobTable | None = None,

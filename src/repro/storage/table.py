@@ -6,6 +6,10 @@ fixed-size pages (:mod:`repro.storage.pages`) and read back through a
 :class:`repro.storage.buffer_pool.BufferPool`, so the table captures both
 the page-layout fudge factor and the fits-in-memory-or-not behaviour that
 the Bismarck experiments measure.
+
+Each row may carry its own decoder: heterogeneous shard directories
+(``scheme="auto"``) attach with one scheme per row, while homogeneous
+tables keep using the table-level default.
 """
 
 from __future__ import annotations
@@ -20,16 +24,19 @@ from repro.storage.pages import stored_bytes
 class BlobTable:
     """A table of compressed mini-batches backed by a buffer pool."""
 
-    def __init__(self, scheme: CompressionScheme, buffer_pool: BufferPool):
+    def __init__(self, scheme: CompressionScheme | None, buffer_pool: BufferPool):
         self.scheme = scheme
         self.buffer_pool = buffer_pool
         self._labels: dict[int, np.ndarray] = {}
         self._blob_sizes: dict[int, int] = {}
+        self._schemes: dict[int, CompressionScheme] = {}
 
     # -- loading ---------------------------------------------------------------
 
     def load_batches(self, batches: list[tuple[np.ndarray, np.ndarray]]) -> None:
         """Compress and store ``(features, labels)`` mini-batches."""
+        if self.scheme is None:
+            raise ValueError("load_batches needs a table-level scheme to compress with")
         for batch_id, (features, labels) in enumerate(batches):
             compressed = self.scheme.compress(features)
             self.add_encoded(batch_id, labels, payload=compressed.to_bytes())
@@ -42,12 +49,15 @@ class BlobTable:
         payload: bytes | None = None,
         size: int | None = None,
         loader=None,
+        scheme: CompressionScheme | None = None,
     ) -> None:
         """Store one already-encoded row (bytes, or a lazy on-disk blob).
 
         This is how the out-of-core engine attaches shard files produced by
         its parallel encode pipeline: it passes ``size`` + ``loader`` so the
-        blob bytes stay on disk until the buffer pool admits them.
+        blob bytes stay on disk until the buffer pool admits them, and
+        ``scheme`` so each row decodes with what its manifest entry records
+        (falling back to the table-level default when omitted).
         """
         if payload is not None:
             self.buffer_pool.put_on_disk(batch_id, payload)
@@ -57,6 +67,8 @@ class BlobTable:
                 raise ValueError("lazy rows need both size and loader")
             self.buffer_pool.put_on_disk(batch_id, size=size, loader=loader)
             self._blob_sizes[batch_id] = int(size)
+        if scheme is not None:
+            self._schemes[batch_id] = scheme
         self._labels[batch_id] = np.asarray(labels)
 
     def __len__(self) -> int:
@@ -64,10 +76,17 @@ class BlobTable:
 
     # -- reading ----------------------------------------------------------------
 
+    def scheme_for(self, batch_id: int) -> CompressionScheme:
+        """The decoder for one row: its own scheme, else the table default."""
+        scheme = self._schemes.get(batch_id, self.scheme)
+        if scheme is None:
+            raise ValueError(f"row {batch_id} has no scheme and the table has no default")
+        return scheme
+
     def read_batch(self, batch_id: int):
         """Return ``(compressed_matrix, labels)`` going through the buffer pool."""
         payload = self.buffer_pool.read(batch_id)
-        compressed = self.scheme.decompress_bytes(payload)
+        compressed = self.scheme_for(batch_id).decompress_bytes(payload)
         return compressed, self._labels[batch_id]
 
     def iter_batches(self):

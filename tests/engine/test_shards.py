@@ -7,8 +7,14 @@ import pytest
 
 from repro.compression.registry import get_scheme
 from repro.data.registry import DATASET_PROFILES
-from repro.engine.encode import encode_batches, resolve_executor, resolve_workers
-from repro.engine.shards import ShardedDataset
+from repro.engine.encode import (
+    AUTO_SCHEME,
+    encode_batches,
+    resolve_executor,
+    resolve_scheme_name,
+    resolve_workers,
+)
+from repro.engine.shards import MIXED_SCHEME, ShardedDataset
 from repro.storage.buffer_pool import BufferPool
 
 
@@ -17,6 +23,16 @@ def small_batches():
     features, labels = DATASET_PROFILES["census"].classification(240, seed=7)
     split = np.array_split(np.arange(features.shape[0]), 4)
     return [(features[idx], labels[idx]) for idx in split]
+
+
+@pytest.fixture(scope="module")
+def mixed_batches():
+    """Batches whose densities differ enough that one scheme cannot win all."""
+    rng = np.random.default_rng(42)
+    sparse = rng.normal(size=(80, 24)) * (rng.random((80, 24)) < 0.05)
+    dense = rng.normal(size=(80, 24))
+    labels = np.zeros(80)
+    return [(sparse, labels), (dense, labels), (sparse * 2.0, labels)]
 
 
 class TestEncodePipeline:
@@ -55,6 +71,47 @@ class TestEncodePipeline:
             resolve_workers(0)
         assert resolve_executor("serial", 8) == "serial"
         assert resolve_executor("auto", 1) == "serial"
+
+
+class TestAutoSchemeEncode:
+    def test_fixed_names_pass_through(self, mixed_batches):
+        assert resolve_scheme_name("TOC", mixed_batches[0][0]) == "TOC"
+        assert resolve_scheme_name("DEN", mixed_batches[1][0]) == "DEN"
+
+    def test_auto_resolves_per_batch(self, mixed_batches):
+        sparse, dense = mixed_batches[0][0], mixed_batches[1][0]
+        assert resolve_scheme_name(AUTO_SCHEME, sparse) != resolve_scheme_name(
+            AUTO_SCHEME, dense
+        )
+
+    def test_auto_encode_records_chosen_schemes(self, mixed_batches):
+        encoded = encode_batches(
+            [x for x, _ in mixed_batches], AUTO_SCHEME, executor="serial"
+        )
+        schemes = [e.scheme for e in encoded]
+        assert AUTO_SCHEME not in schemes  # every shard resolved to a real scheme
+        assert len(set(schemes)) > 1  # the mix genuinely splits
+        # Each payload round-trips through the scheme recorded for it.
+        for enc, (features, _) in zip(encoded, mixed_batches):
+            decoded = get_scheme(enc.scheme).decompress_bytes(enc.payload).to_dense()
+            np.testing.assert_allclose(decoded, features)
+
+    def test_auto_is_deterministic_across_executors(self, mixed_batches):
+        feats = [x for x, _ in mixed_batches]
+        serial = encode_batches(feats, AUTO_SCHEME, executor="serial")
+        threaded = encode_batches(feats, AUTO_SCHEME, workers=2, executor="thread")
+        assert [e.scheme for e in serial] == [e.scheme for e in threaded]
+        assert [e.payload for e in serial] == [e.payload for e in threaded]
+
+    def test_explicit_per_batch_schemes(self, mixed_batches):
+        feats = [x for x, _ in mixed_batches]
+        encoded = encode_batches(feats, ["TOC", "DEN", "CSR"], executor="serial")
+        assert [e.scheme for e in encoded] == ["TOC", "DEN", "CSR"]
+
+    def test_per_batch_scheme_count_mismatch_rejected(self, mixed_batches):
+        feats = [x for x, _ in mixed_batches]
+        with pytest.raises(ValueError, match="scheme names"):
+            encode_batches(feats, ["TOC"], executor="serial")
 
 
 class TestShardedDataset:
@@ -110,8 +167,51 @@ class TestShardedDataset:
     def test_as_blob_table_reads_decoded_batches(self, tmp_path, small_batches):
         dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
         pool = BufferPool(budget_bytes=10 * dataset.total_payload_bytes())
-        table = dataset.as_blob_table(pool, get_scheme("TOC"))
+        table = dataset.as_blob_table(pool)
         assert len(table) == len(dataset)
         for batch_id, (compressed, labels) in enumerate(table.iter_batches()):
             np.testing.assert_allclose(compressed.to_dense(), small_batches[batch_id][0])
             np.testing.assert_array_equal(labels, small_batches[batch_id][1])
+
+    def test_manifest_records_scheme_per_shard(self, tmp_path, small_batches):
+        import json
+
+        ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["format_version"] == 2
+        assert manifest["scheme"] == "TOC"
+        assert all(row["scheme"] == "TOC" for row in manifest["shards"])
+
+    def test_auto_create_open_round_trip(self, tmp_path, mixed_batches):
+        created = ShardedDataset.create(tmp_path, mixed_batches, AUTO_SCHEME, executor="serial")
+        assert created.is_mixed
+        assert created.scheme_name == MIXED_SCHEME
+        assert sum(created.scheme_counts().values()) == len(mixed_batches)
+
+        reopened = ShardedDataset.open(tmp_path)
+        assert reopened.requested_scheme == AUTO_SCHEME
+        assert [s.scheme for s in reopened.shards] == [s.scheme for s in created.shards]
+        for batch_id, (features, _) in enumerate(mixed_batches):
+            np.testing.assert_allclose(reopened.decode(batch_id).to_dense(), features)
+
+    def test_scheme_for_caches_instances(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        assert dataset.scheme_for(0) is dataset.scheme_for(1)
+        assert dataset.scheme_for(0).name == "TOC"
+
+    def test_as_blob_table_resolves_mixed_schemes(self, tmp_path, mixed_batches):
+        dataset = ShardedDataset.create(tmp_path, mixed_batches, AUTO_SCHEME, executor="serial")
+        pool = BufferPool(budget_bytes=10 * dataset.total_payload_bytes())
+        table = dataset.as_blob_table(pool)
+        for batch_id, (compressed, _) in enumerate(table.iter_batches()):
+            assert compressed.scheme_name == dataset.shards[batch_id].scheme
+            np.testing.assert_allclose(compressed.to_dense(), mixed_batches[batch_id][0])
+
+    def test_as_blob_table_scheme_parameter_deprecated(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        pool = BufferPool(budget_bytes=10 * dataset.total_payload_bytes())
+        with pytest.warns(DeprecationWarning, match="manifest already"):
+            table = dataset.as_blob_table(pool, get_scheme("TOC"))
+        # The deprecated argument is ignored: decoding still works.
+        compressed, _ = table.read_batch(0)
+        np.testing.assert_allclose(compressed.to_dense(), small_batches[0][0])

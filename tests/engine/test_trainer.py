@@ -125,6 +125,90 @@ class TestOutOfCoreTrainer:
         assert len(report.history.epoch_losses) == config.epochs
 
 
+class TestAdaptiveScheme:
+    """scheme="auto": per-shard compression flowing through the whole engine."""
+
+    @pytest.fixture(scope="class")
+    def mixed_dataset(self, tmp_path_factory):
+        """A shard directory whose batches genuinely favour different schemes."""
+        from repro.engine.shards import ShardedDataset
+
+        rng = np.random.default_rng(5)
+        sparse = rng.normal(size=(90, 20)) * (rng.random((90, 20)) < 0.05)
+        dense = rng.normal(size=(90, 20))
+        labels = (rng.random(90) < 0.5).astype(np.float64)
+        batches = [(sparse, labels), (dense, labels), (sparse.copy(), labels)]
+        directory = tmp_path_factory.mktemp("auto-shards")
+        created = ShardedDataset.create(directory, batches, "auto", executor="serial")
+        return directory, batches, created
+
+    def test_auto_trainer_trains_over_mixed_shards(self, mixed_dataset, config):
+        from repro.engine.shards import ShardedDataset
+
+        directory, batches, created = mixed_dataset
+        assert created.is_mixed  # the fixture data must actually split
+
+        trainer = OutOfCoreTrainer("auto", config, budget_ratio=0.5)
+        trainer.attach(ShardedDataset.open(directory))
+        model = LogisticRegressionModel(batches[0][0].shape[1], seed=0)
+        report = trainer.train(model)
+        assert len(report.history.epoch_losses) == config.epochs
+        assert np.all(np.isfinite(model.get_parameters()))
+
+    def test_mixed_training_matches_per_batch_reference(self, mixed_dataset, config):
+        """Per-shard decoding is exact: same updates as in-memory batches."""
+        from repro.engine.shards import ShardedDataset
+
+        directory, batches, _ = mixed_dataset
+        trainer = OutOfCoreTrainer("auto", config, budget_ratio=10.0)
+        trainer.attach(ShardedDataset.open(directory))
+        model = LogisticRegressionModel(batches[0][0].shape[1], seed=0)
+        trainer.train(model)
+
+        reference = LogisticRegressionModel(batches[0][0].shape[1], seed=0)
+        for _ in range(config.epochs):
+            for features, labels in batches:
+                reference.gradient_step(features, labels, config.learning_rate)
+        np.testing.assert_allclose(
+            model.get_parameters(), reference.get_parameters(), rtol=1e-9, atol=1e-12
+        )
+
+    def test_pinned_trainer_rejects_mixed_shards(self, mixed_dataset, config):
+        from repro.engine.shards import ShardedDataset
+
+        directory, _, _ = mixed_dataset
+        pinned = OutOfCoreTrainer("TOC", config)
+        with pytest.raises(ValueError, match="pinned to 'TOC'"):
+            pinned.attach(ShardedDataset.open(directory))
+
+    def test_auto_fit_and_checkpoint_record_scheme_mix(self, tmp_path, dataset, config):
+        from repro.serve.checkpoint import ModelRegistry
+
+        features, labels = dataset
+        trainer = OutOfCoreTrainer("auto", config, budget_ratio=2.0, executor="serial")
+        model = LogisticRegressionModel(features.shape[1], seed=0)
+        trainer.fit(
+            model, features, labels, tmp_path / "shards",
+            checkpoint_to=tmp_path / "registry",
+        )
+        checkpoint = ModelRegistry(tmp_path / "registry").load("latest")
+        meta = checkpoint.dataset_meta
+        assert meta["requested_scheme"] == "auto"
+        assert sum(meta["scheme_counts"].values()) == len(trainer.dataset)
+        assert checkpoint.scheme_name == trainer.dataset.scheme_name
+
+    def test_auto_bismarck_session_over_mixed_shards(self, mixed_dataset, config):
+        from repro.engine.shards import ShardedDataset
+
+        directory, batches, _ = mixed_dataset
+        trainer = OutOfCoreTrainer("auto", config, budget_ratio=10.0)
+        trainer.attach(ShardedDataset.open(directory))
+        session = trainer.bismarck_session()
+        model = LogisticRegressionModel(batches[0][0].shape[1], seed=0)
+        report = session.train(model, epochs=2, learning_rate=0.3)
+        assert np.isfinite(report.final_loss)
+
+
 class TestReportAndSchemeGuards:
     def test_attach_rejects_mismatched_scheme(self, tmp_path, dataset, config):
         from repro.engine.shards import ShardedDataset
@@ -136,6 +220,10 @@ class TestReportAndSchemeGuards:
         toc_trainer = OutOfCoreTrainer("TOC", config)
         with pytest.raises(ValueError, match="encoded with 'CSR'"):
             toc_trainer.attach(ShardedDataset.open(tmp_path))
+
+    def test_unknown_scheme_rejected_at_construction(self, config):
+        with pytest.raises(KeyError):
+            OutOfCoreTrainer("LZ77", config)
 
     def test_report_stats_are_a_snapshot(self, tmp_path, dataset, config):
         features, labels = dataset

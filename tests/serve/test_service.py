@@ -59,9 +59,9 @@ class TestSingleRowPath:
 
     def test_bulk_and_single_row_race_on_a_tiny_store_cache(self, trained_setup):
         # Regression: the bulk API (client thread) and the batcher worker
-        # share the store; with a one-block decoded LRU their evictions race.
+        # share the store; with a one-row decoded LRU their evictions race.
         model, shard_dir, _, _ = trained_setup
-        store = FeatureStore.open(shard_dir, decoded_cache_blocks=1)
+        store = FeatureStore.open(shard_dir, decoded_cache_rows=1)
         ids = list(range(0, 300, 7))
         expected = model.predict(store.get_rows(ids))
         with PredictionService(model, store, max_batch_size=8) as service:

@@ -83,6 +83,38 @@ class TestTrainOOCCommand:
         assert main(["train-ooc", "--dataset", "criteo"]) == 2
         assert "unknown dataset" in capsys.readouterr().out
 
+    def test_auto_scheme_trains_checkpoints_and_serves(self, capsys, tmp_path):
+        import json
+
+        shard_dir, registry_dir = tmp_path / "shards", tmp_path / "registry"
+        code = main(
+            [
+                "train-ooc",
+                "--dataset", "census",
+                "--rows", "300",
+                "--batch-size", "75",
+                "--epochs", "1",
+                "--scheme", "auto",
+                "--executor", "serial",
+                "--shard-dir", str(shard_dir),
+                "--checkpoint-dir", str(registry_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheme 'auto'" in out
+        manifest = json.loads((shard_dir / "manifest.json").read_text())
+        assert manifest["requested_scheme"] == "auto"
+        assert all(row["scheme"] != "auto" for row in manifest["shards"])
+
+        # The checkpointed model serves rows straight off the auto shards.
+        assert main(["predict", "--checkpoint-dir", str(registry_dir), "--ids", "0,5,299"]) == 0
+        assert "agreement with stored labels" in capsys.readouterr().out
+
+    def test_unknown_scheme_fails_cleanly(self, capsys):
+        assert main(["train-ooc", "--scheme", "LZ77", "--rows", "200"]) == 2
+        assert "invalid train-ooc configuration" in capsys.readouterr().out
+
     def test_checkpoint_requires_shard_dir(self, capsys, tmp_path):
         assert main(["train-ooc", "--checkpoint-dir", str(tmp_path)]) == 2
         assert "--shard-dir" in capsys.readouterr().out
