@@ -9,17 +9,21 @@ Two questions the engine exists to answer:
 2. what does streaming shards through the buffer pool cost relative to the
    fully in-memory MGD loop (``test_train_*``).
 
-Every case records a machine-readable row via ``bench_json``, so the session
-writes ``BENCH_results.json`` for the perf trajectory.
+Every case records a machine-readable row via ``bench_json`` (in CI the
+session is named ``BENCH_ooc.json``).  The training rows carry the
+per-shard scheme mix read off ``Dataset.stats()``, so a perf regression in
+the trajectory can be attributed to a mix change, not just noticed.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from collections import Counter
 
 import pytest
 
+from repro.api import Dataset
 from repro.data.minibatch import split_minibatches
 from repro.data.registry import DATASET_PROFILES
 from repro.engine import OutOfCoreTrainer, encode_batches
@@ -67,6 +71,7 @@ def test_encode_executors(benchmark, bench_json, ooc_dataset, executor):
         workers=workers,
         batches=len(feature_batches),
         payload_bytes=sum(e.nbytes for e in encoded),
+        scheme_mix=dict(Counter(e.scheme for e in encoded)),
         median_seconds=_median_seconds(benchmark),
     )
 
@@ -128,25 +133,44 @@ def test_train_in_memory(benchmark, bench_json, ooc_dataset):
     )
 
 
-def test_train_out_of_core(benchmark, bench_json, ooc_dataset, tmp_path_factory):
-    """The streaming engine: shard once, then train through the buffer pool."""
+@pytest.mark.parametrize("scheme", ("TOC", "auto"))
+def test_train_out_of_core(benchmark, bench_json, ooc_dataset, tmp_path_factory, scheme):
+    """The streaming engine: shard once, then train through the buffer pool.
+
+    Runs once with a fixed TOC encode and once with per-shard ``"auto"``
+    advice; both rows carry ``Dataset.stats()`` provenance (scheme mix,
+    compression ratio) so the perf trajectory can attribute a regression to
+    the mix changing under the advisor, not just to the kernels.
+    """
     features, labels, _ = ooc_dataset
     config = GradientDescentConfig(batch_size=BATCH_SIZE, epochs=EPOCHS, learning_rate=0.3)
-    trainer = OutOfCoreTrainer("TOC", config, budget_ratio=0.5)
-    trainer.shard(features, labels, tmp_path_factory.mktemp("ooc-shards"))
+    dataset = Dataset.create(
+        tmp_path_factory.mktemp(f"ooc-shards-{scheme}"),
+        features,
+        labels,
+        scheme=scheme,
+        batch_size=BATCH_SIZE,
+        seed=0,
+    )
+    trainer = OutOfCoreTrainer("auto", config, budget_ratio=0.5)
+    trainer.attach(dataset.sharded)
 
     def run():
         model = LogisticRegressionModel(features.shape[1], seed=0)
         return trainer.train(model)
 
     report = benchmark.pedantic(run, rounds=3, iterations=1)
+    stats = dataset.stats()
     bench_json(
         "train_out_of_core",
         epochs=EPOCHS,
+        requested_scheme=scheme,
         final_loss=report.final_loss,
         fits_in_memory=report.fits_in_memory,
         hit_rate=report.pool_stats.hit_rate,
         payload_bytes=report.total_payload_bytes,
         budget_bytes=report.budget_bytes,
+        scheme_mix=stats.scheme_counts,
+        compression_ratio=stats.compression_ratio,
         median_seconds=_median_seconds(benchmark),
     )

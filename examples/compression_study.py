@@ -13,9 +13,7 @@ for your own data by testing it on a mini-batch sample.
 
 from __future__ import annotations
 
-from repro import available_schemes, get_scheme
-from repro.bench.reporting import format_table
-from repro.data.registry import DATASET_PROFILES
+from repro.api import DATASET_PROFILES, available_schemes, get_scheme
 
 BATCH_ROWS = 250
 
@@ -29,14 +27,13 @@ def main() -> None:
             name: get_scheme(name).compress(batch).compression_ratio() for name in scheme_names
         }
 
-    print(
-        format_table(
-            f"Compression ratios on {BATCH_ROWS}-row mini-batches (higher is better)",
-            rows,
-            scheme_names,
-            "{:.1f}",
-        )
-    )
+    print(f"Compression ratios on {BATCH_ROWS}-row mini-batches (higher is better)\n")
+    width = max(len(name) for name in rows)
+    header = " ".join(f"{name:>10}" for name in scheme_names)
+    print(f"{'':<{width}} {header}")
+    for dataset, ratios in rows.items():
+        cells = " ".join(f"{ratios[name]:>10.1f}" for name in scheme_names)
+        print(f"{dataset:<{width}} {cells}")
 
     print()
     print("Reading the table the way Section 5.1 of the paper does:")

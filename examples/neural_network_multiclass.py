@@ -1,4 +1,4 @@
-"""Train a feed-forward neural network on TOC-compressed multi-class data.
+"""Train a feed-forward network on TOC-compressed multi-class data — via the facade.
 
 Run with::
 
@@ -8,21 +8,15 @@ The network mirrors the paper's architecture (feed-forward, sigmoid hidden
 layers, softmax output, cross-entropy loss).  The first-layer forward pass
 (``A @ W1``) and the first-layer backward pass (``delta^T @ A``) are the
 ``A @ M`` / ``M @ A`` compressed operations of Table 1; everything deeper in
-the network is ordinary dense algebra.
+the network is ordinary dense algebra.  ``Estimator(model="ffnn")`` builds
+and trains it over TOC-compressed mini-batches.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    DATASET_PROFILES,
-    FeedForwardNetwork,
-    GradientDescentConfig,
-    MiniBatchGradientDescent,
-    get_scheme,
-)
-from repro.ml.metrics import accuracy, error_rate
+from repro.api import DATASET_PROFILES, Estimator, TOCMatrix, accuracy, error_rate
 
 
 def main() -> None:
@@ -31,31 +25,37 @@ def main() -> None:
     # Rescale features to [0, 1]: a constant rescaling keeps the repeated
     # value sequences intact, so it does not change TOC's compression ratio.
     features = features / max(features.max(), 1.0)
-    train_x, train_y = features[:1200], labels[:1200]
-    test_x, test_y = features[1200:], labels[1200:]
+    train_x, train_y = features[:1200], labels[:1200].astype(int)
+    test_x, test_y = features[1200:], labels[1200:].astype(int)
 
-    config = GradientDescentConfig(batch_size=125, epochs=30, learning_rate=2.0)
-    optimizer = MiniBatchGradientDescent(config)
-    batches = optimizer.prepare_batches(train_x, train_y.astype(int), scheme=get_scheme("TOC"))
+    batch_bytes = 125 * train_x.shape[1] * 8
+    ratio = batch_bytes / TOCMatrix.encode(train_x[:125]).nbytes
+    print(f"TOC compresses the training mini-batches about {ratio:.1f}x")
 
-    ratio = (train_x.size * 8) / sum(batch.nbytes for batch, _ in batches)
-    print(f"TOC compressed the training mini-batches {ratio:.1f}x")
-
-    model = FeedForwardNetwork(train_x.shape[1], hidden_sizes=(64,), n_classes=10, seed=0)
-    history = optimizer.train(
-        model,
-        batches,
-        eval_fn=lambda m: error_rate(m.predict(test_x), test_y),
+    estimator = Estimator(
+        "ffnn",
+        scheme="TOC",
+        hidden_sizes=(64,),
+        n_classes=10,
+        batch_size=125,
+        epochs=30,
+        learning_rate=2.0,
+        seed=0,
     )
+    report = estimator.fit(
+        train_x, train_y,
+        eval_fn=lambda model: error_rate(model.predict(test_x), test_y),
+    )
+    history = report.history
 
     print("epoch  loss     test error [%]")
     for epoch, (loss, err) in enumerate(zip(history.epoch_losses, history.epoch_metrics), 1):
         if epoch % 5 == 0 or epoch == 1:
             print(f"{epoch:>5}  {loss:.4f}  {err:8.1f}")
 
-    print(f"\nfinal train accuracy: {accuracy(model.predict(train_x), train_y):.3f}")
-    print(f"final test accuracy:  {accuracy(model.predict(test_x), test_y):.3f}")
-    assert np.isfinite(history.final_loss)
+    print(f"\nfinal train accuracy: {accuracy(estimator.predict(train_x), train_y):.3f}")
+    print(f"final test accuracy:  {accuracy(estimator.predict(test_x), test_y):.3f}")
+    assert np.isfinite(report.final_loss)
 
 
 if __name__ == "__main__":

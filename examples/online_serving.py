@@ -6,12 +6,13 @@ Run with::
 
 The paper's trick — amortize decompression and linear algebra over a
 mini-batch — pays twice.  Training exploits it in the MGD loop; this example
-shows the serving side (:mod:`repro.serve`): the trained model is published
-to a version registry, single-row prediction requests from concurrent
-clients are coalesced by the micro-batcher into mini-batches over the same
-compressed shard files, and a small prediction LRU absorbs the hot keys.
-The closing table compares the same traffic served unbatched (batch size 1),
-micro-batched, and micro-batched with the cache on.
+shows the serving side, entirely through the facade: ``Estimator.fit`` with
+a ``shard_dir`` trains out-of-core, ``Estimator.save`` publishes the model
+to a version registry, and ``open_service`` turns the registry into a live
+service that coalesces concurrent single-row requests into mini-batches
+over the same compressed shard files (a small prediction LRU absorbs the
+hot keys).  The closing table compares the same traffic served unbatched
+(batch size 1), micro-batched, and micro-batched with the cache on.
 """
 
 from __future__ import annotations
@@ -23,13 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import (
-    GradientDescentConfig,
-    LogisticRegressionModel,
-    OutOfCoreTrainer,
-    PredictionService,
-)
-from repro.data.registry import DATASET_PROFILES
+from repro.api import DATASET_PROFILES, Estimator, PredictionService, open_service
 
 ROWS = 2000
 BATCH_SIZE = 250
@@ -47,19 +42,23 @@ def drive(service: PredictionService, workload: np.ndarray) -> float:
 
 def main() -> None:
     features, labels = DATASET_PROFILES["census"].classification(ROWS, seed=3)
-    config = GradientDescentConfig(batch_size=BATCH_SIZE, epochs=3, learning_rate=0.3)
 
     with tempfile.TemporaryDirectory(prefix="repro-serving-") as tmp:
         shard_dir = Path(tmp) / "shards"
         registry_dir = Path(tmp) / "checkpoints"
 
-        # 1. Train out-of-core and publish the model to the registry.
-        trainer = OutOfCoreTrainer("TOC", config, budget_ratio=2.0)
-        model = LogisticRegressionModel(features.shape[1], seed=0)
-        report = trainer.fit(model, features, labels, shard_dir, checkpoint_to=registry_dir)
+        # 1. Train out-of-core and publish the model to the registry.  The
+        #    checkpoint records the shard directory, so serving finds the
+        #    features again without being told.
+        estimator = Estimator(
+            "logreg", scheme="TOC", batch_size=BATCH_SIZE, epochs=3,
+            learning_rate=0.3, budget_ratio=2.0,
+        )
+        report = estimator.fit(features, labels, shard_dir=shard_dir)
+        version, _ = estimator.save(registry_dir)
         print(
             f"trained over {ROWS} rows (final loss {report.final_loss:.4f}), "
-            f"published checkpoint v{report.checkpoint_version:05d}"
+            f"published checkpoint v{version:05d}"
         )
 
         # 2. An 80/20 workload: most requests hit a small hot set.
@@ -83,9 +82,7 @@ def main() -> None:
             ("micro-batched", dict(max_batch_size=64, cache_size=0)),
             ("batched+cache", dict(max_batch_size=64, cache_size=512)),
         ):
-            service, _ = PredictionService.from_registry(
-                registry_dir, store_kwargs=store_kwargs, **kwargs
-            )
+            service, _ = open_service(registry_dir, store_kwargs=store_kwargs, **kwargs)
             with service:
                 service.predict_ids(range(ROWS))  # warm the decoded blocks
                 wall = drive(service, workload)

@@ -1,53 +1,73 @@
-"""Quickstart: compress a mini-batch with TOC and compute on it directly.
+"""Quickstart: the whole library through one import — ``repro.api``.
 
 Run with::
 
     python examples/quickstart.py
 
-Walks through the three things the library does:
+Walks the facade end to end:
 
-1. compress a mini-batch losslessly with tuple-oriented compression,
-2. execute matrix operations directly on the compressed representation,
-3. compare the compressed size against the other schemes the paper evaluates.
+1. compress a mini-batch losslessly with TOC and compute on it directly
+   (the paper's core trick);
+2. turn a dataset into a compressed shard directory with ``Dataset.create``
+   (the Section 5.1 advisor picks the scheme per shard);
+3. train a model over it with ``Estimator.fit`` — the facade routes to the
+   out-of-core engine because the input is a ``Dataset``;
+4. repair drift with ``Dataset.compact`` and inspect ``Dataset.stats``.
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro import TOCMatrix, available_schemes, generate_dataset, get_scheme
+from repro.api import DATASET_PROFILES, Dataset, Estimator, TOCMatrix, accuracy
 
 
 def main() -> None:
-    # 1. A 250-row mini-batch from the Census-like dataset profile
-    #    (moderate sparsity, heavily repeated column-value sequences).
-    batch = generate_dataset("census", 250, seed=0)
-    print(f"mini-batch: {batch.shape[0]} rows x {batch.shape[1]} columns, "
-          f"{np.count_nonzero(batch)} non-zero cells")
-
-    # 2. Compress it with TOC.  Encoding is lossless: decoding gives back the
-    #    exact same matrix.
+    # 1. The core trick: compress one mini-batch, compute on it directly.
+    batch = DATASET_PROFILES["census"].matrix(250, seed=0)
     toc = TOCMatrix.encode(batch)
-    assert np.array_equal(toc.to_dense(), batch)
-    print(f"TOC compressed size: {toc.nbytes} bytes "
-          f"(ratio {toc.compression_ratio():.1f}x vs dense)")
-    stats = toc.stats()
-    print(f"  prefix-tree first layer: {int(stats['first_layer'])} unique pairs, "
-          f"encoded table: {int(stats['codes'])} codes for {int(stats['nnz'])} non-zeros")
-
-    # 3. Matrix operations run directly on the compressed form - no decoding.
+    assert np.array_equal(toc.to_dense(), batch)  # lossless
     weights = np.random.default_rng(0).normal(size=batch.shape[1])
-    scores = toc.matvec(weights)                  # A @ w   (used by the forward pass)
-    gradient = toc.rmatvec(scores)                # s @ A   (used by the backward pass)
-    assert np.allclose(scores, batch @ weights)
-    assert np.allclose(gradient, scores @ batch)
-    print("compressed matvec / rmatvec match the dense computation")
+    assert np.allclose(toc.matvec(weights), batch @ weights)  # no decode
+    print(
+        f"mini-batch {batch.shape[0]} x {batch.shape[1]}: TOC {toc.nbytes} bytes "
+        f"({toc.compression_ratio():.1f}x vs dense), compressed matvec exact"
+    )
 
-    # 4. How do the other schemes from the paper compare on this batch?
-    print("\ncompression ratios on this mini-batch:")
-    for name in available_schemes():
-        compressed = get_scheme(name).compress(batch)
-        print(f"  {name:<8} {compressed.compression_ratio():6.1f}x  ({compressed.nbytes} bytes)")
+    # 2-4. The lifecycle: create -> fit -> stats -> compact.
+    features, labels = DATASET_PROFILES["census"].classification(2000, seed=3)
+    with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as tmp:
+        dataset = Dataset.create(Path(tmp) / "shards", features, labels, scheme="auto")
+        stats = dataset.stats()
+        mix = ", ".join(f"{k}x{v}" for k, v in sorted(stats.scheme_counts.items()))
+        print(
+            f"\ndataset: {stats.n_shards} shards ({mix}), "
+            f"{stats.payload_bytes / 1e6:.2f} MB payload "
+            f"({stats.compression_ratio:.1f}x vs dense)"
+        )
+
+        estimator = Estimator("logreg", epochs=5, learning_rate=0.3)
+        report = estimator.fit(dataset)  # Dataset input -> out-of-core backend
+        predictions = estimator.predict(dataset)
+        print(
+            f"trained {report.backend}: final loss {report.final_loss:.4f}, "
+            f"training accuracy {accuracy(predictions, dataset.labels()):.1%}"
+        )
+
+        # Long-lived datasets drift; compact re-advises and re-encodes only
+        # the shards whose winning scheme changed.  Freshly advised shards
+        # are already optimal, so this is a no-op — and says so.
+        compaction = dataset.compact(readvise=True)
+        print(
+            f"compact: {compaction.n_reencoded} of {compaction.examined} shards "
+            f"re-encoded ({'drift repaired' if compaction.changed else 'already optimal'})"
+        )
+
+    print("\nEverything above used one import: repro.api.")
+    print("Try `python -m repro --help` for the CLI over the same facade.")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Train logistic regression with MGD over TOC-compressed mini-batches.
+"""Train logistic regression over TOC-compressed mini-batches — via the facade.
 
 Run with::
 
@@ -7,23 +7,17 @@ Run with::
 This is the paper's core workload: mini-batch stochastic gradient descent
 where every mini-batch is compressed once up front and every epoch's matrix
 operations (``A @ w`` and ``g @ A``) execute directly on the compressed
-representation.  The script trains the same model on the dense batches and
-on the compressed batches and shows that the learned parameters are
-identical while the compressed batches are several times smaller.
+representation.  Two :class:`repro.api.Estimator` objects train the same
+model on raw dense batches (``scheme=None``) and on TOC batches
+(``scheme="TOC"``): the learned parameters are identical while the
+compressed batches are several times smaller.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    DATASET_PROFILES,
-    GradientDescentConfig,
-    LogisticRegressionModel,
-    MiniBatchGradientDescent,
-    get_scheme,
-)
-from repro.ml.metrics import accuracy
+from repro.api import DATASET_PROFILES, Estimator, TOCMatrix, accuracy
 
 
 def main() -> None:
@@ -33,31 +27,29 @@ def main() -> None:
     train_x, train_y = features[:1600], labels[:1600]
     test_x, test_y = features[1600:], labels[1600:]
 
-    config = GradientDescentConfig(batch_size=250, epochs=10, learning_rate=0.3)
-    optimizer = MiniBatchGradientDescent(config)
+    toc_bytes = TOCMatrix.encode(train_x[:250]).nbytes
+    print(f"first mini-batch: dense {250 * train_x.shape[1] * 8 / 1e3:.0f} KB -> "
+          f"TOC {toc_bytes / 1e3:.1f} KB")
 
-    # Train on TOC-compressed mini-batches.
-    toc_scheme = get_scheme("TOC")
-    toc_batches = optimizer.prepare_batches(train_x, train_y, scheme=toc_scheme)
-    compressed_bytes = sum(batch.nbytes for batch, _ in toc_batches)
-    dense_bytes = train_x.size * 8
-    print(f"{len(toc_batches)} mini-batches: dense {dense_bytes / 1e6:.1f} MB -> "
-          f"TOC {compressed_bytes / 1e6:.2f} MB ({dense_bytes / compressed_bytes:.1f}x)")
+    hyper = dict(batch_size=250, epochs=10, learning_rate=0.3, seed=0)
 
-    toc_model = LogisticRegressionModel(train_x.shape[1], seed=0)
-    history = optimizer.train(toc_model, toc_batches)
-    print(f"trained {config.epochs} epochs on compressed batches "
-          f"in {history.total_time:.2f}s, final loss {history.final_loss:.4f}")
+    # Train on TOC-compressed mini-batches...
+    toc = Estimator("logreg", scheme="TOC", **hyper)
+    report = toc.fit(train_x, train_y)
+    print(f"trained {report.epochs} epochs on compressed batches "
+          f"in {report.history.total_time:.2f}s, final loss {report.final_loss:.4f}")
 
-    # Train the identical model on the raw dense batches for comparison.
-    dense_model = LogisticRegressionModel(train_x.shape[1], seed=0)
-    optimizer.fit(dense_model, train_x, train_y)
+    # ...and the identical model on the raw dense batches for comparison.
+    dense = Estimator("logreg", scheme=None, **hyper)
+    dense.fit(train_x, train_y)
 
-    assert np.allclose(toc_model.get_parameters(), dense_model.get_parameters(), rtol=1e-8)
+    assert np.allclose(
+        toc.model.get_parameters(), dense.model.get_parameters(), rtol=1e-8
+    )
     print("compressed and dense training produced identical parameters")
 
-    print(f"train accuracy: {accuracy(toc_model.predict(train_x), train_y):.3f}")
-    print(f"test accuracy:  {accuracy(toc_model.predict(test_x), test_y):.3f}")
+    print(f"train accuracy: {accuracy(toc.predict(train_x), train_y):.3f}")
+    print(f"test accuracy:  {accuracy(toc.predict(test_x), test_y):.3f}")
 
 
 if __name__ == "__main__":

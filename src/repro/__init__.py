@@ -3,7 +3,10 @@
 A reproduction of *Tuple-oriented Compression for Large-scale Mini-batch
 Stochastic Gradient Descent* (Li et al., SIGMOD 2019).
 
-The public API re-exports the pieces most users need:
+The recommended entry point is :mod:`repro.api` — the unified facade
+(:class:`Dataset`, :class:`Estimator`, :func:`open_service`) that owns the
+dataset lifecycle end to end.  This top-level package re-exports the facade
+plus the lower-level pieces advanced users reach for:
 
 * :class:`TOCMatrix` — compress a mini-batch and run matrix operations
   directly on the compressed representation;
@@ -31,10 +34,17 @@ from repro.ml import (
 from repro.serve import FeatureStore, MicroBatcher, ModelRegistry, PredictionService
 from repro.storage import BismarckSession, BufferPool
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
+
+# The facade imports last: repro.api reads ``repro.__version__`` back, so it
+# must come after everything above (and after __version__) is bound.
+from repro.api import Dataset, Estimator, open_service  # noqa: E402
 
 __all__ = [
     "BismarckSession",
+    "Dataset",
+    "Estimator",
+    "open_service",
     "BufferPool",
     "DATASET_PROFILES",
     "FeatureStore",

@@ -1,17 +1,24 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands are provided:
+The CLI is a thin shell over the :mod:`repro.api` facade — every command is
+a few facade calls plus printing.  Nine commands are provided:
 
 * ``info`` — package version, registered schemes, dataset profiles;
 * ``advise`` — run the scheme advisor on a sample mini-batch drawn from a
   named dataset profile (Section 5.1's "test TOC on a sample" advice);
 * ``experiment`` — run one of the paper's tables/figures by id (delegates to
   :mod:`repro.bench.experiments`, e.g. ``python -m repro experiment fig5``);
-* ``train-ooc`` — shard a dataset to disk with the parallel encode pipeline
-  and train a model out-of-core through the buffer pool (:mod:`repro.engine`);
-  ``--checkpoint-dir`` publishes the trained model to a version registry;
+* ``encode`` — shard a dataset profile to disk (``Dataset.create``);
+* ``stats`` — summarise a shard directory: sizes, compression ratio, and
+  the per-shard scheme mix (``Dataset.stats``);
+* ``compact`` — re-advise every shard and re-encode the drifted ones
+  (``Dataset.compact``), the maintenance pass for long-lived datasets;
+* ``train-ooc`` — train out-of-core (``Estimator.fit``): over an existing
+  shard directory when ``--shard-dir`` already holds a manifest, otherwise
+  sharding a generated dataset first; ``--checkpoint-dir`` publishes the
+  model to a version registry (``Estimator.save``);
 * ``predict`` — load a checkpointed model, look rows up in the shard store,
-  and print predictions next to the stored labels (:mod:`repro.serve`);
+  and print predictions next to the stored labels (``open_service``);
 * ``serve`` — drive the micro-batched prediction service with a synthetic
   closed-loop client swarm and report throughput / batching / cache stats.
 """
@@ -22,13 +29,47 @@ import argparse
 import sys
 import tempfile
 
-from repro import __version__, available_schemes
-from repro.bench import experiments
-from repro.core.advisor import recommend_scheme
-from repro.data.registry import DATASET_PROFILES
+from repro.api import (
+    DATASET_PROFILES,
+    Dataset,
+    Estimator,
+    __version__,
+    available_schemes,
+    open_service,
+    recommend_scheme,
+)
+
+
+def _profile_or_none(name: str):
+    profile = DATASET_PROFILES.get(name)
+    if profile is None:
+        print(f"unknown dataset profile {name!r}; known: {sorted(DATASET_PROFILES)}")
+    return profile
+
+
+def _scheme_mix(scheme_counts: dict) -> str:
+    """``{"TOC": 3, "DEN": 1}`` -> ``"DENx1, TOCx3"``."""
+    return ", ".join(f"{name}x{count}" for name, count in sorted(scheme_counts.items()))
+
+
+def _print_stats(stats) -> None:
+    """Shared ``encode``/``stats`` report: one ``DatasetStats`` as text."""
+    print(f"shards:    {stats.n_shards} ({_scheme_mix(stats.scheme_counts)})")
+    print(f"examples:  {stats.n_examples} rows x {stats.n_cols} cols")
+    print(
+        f"payload:   {stats.payload_bytes / 1e6:.2f} MB "
+        f"({stats.physical_bytes / 1e6:.2f} MB paged, "
+        f"{stats.compression_ratio:.1f}x vs dense)"
+    )
+    requested = stats.requested_scheme
+    if isinstance(requested, list):
+        requested = "per-batch list"
+    print(f"scheme:    {stats.scheme} (requested: {requested})")
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+
     print(f"repro {__version__} — tuple-oriented compression for mini-batch SGD")
     print(f"schemes:  {', '.join(available_schemes(include_ablations=True))}")
     print("datasets: " + ", ".join(sorted(DATASET_PROFILES)))
@@ -37,9 +78,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
-    profile = DATASET_PROFILES.get(args.dataset)
+    profile = _profile_or_none(args.dataset)
     if profile is None:
-        print(f"unknown dataset profile {args.dataset!r}; known: {sorted(DATASET_PROFILES)}")
         return 2
     sample = profile.matrix(args.rows, seed=args.seed)
     recommendation = recommend_scheme(sample)
@@ -55,97 +95,161 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+
     cli_args = [args.experiment_id]
     if args.quick:
         cli_args.append("--quick")
     return experiments.main(cli_args)
 
 
-def _cmd_train_ooc(args: argparse.Namespace) -> int:
-    from repro.engine import OutOfCoreTrainer, resolve_executor, resolve_workers
-    from repro.ml.models import LinearSVMModel, LogisticRegressionModel
-    from repro.ml.optimizer import GradientDescentConfig
-
-    profile = DATASET_PROFILES.get(args.dataset)
+def _cmd_encode(args: argparse.Namespace) -> int:
+    profile = _profile_or_none(args.dataset)
     if profile is None:
-        print(f"unknown dataset profile {args.dataset!r}; known: {sorted(DATASET_PROFILES)}")
         return 2
-
     features, labels = profile.classification(args.rows, seed=args.seed)
     try:
-        config = GradientDescentConfig(
+        dataset = Dataset.create(
+            args.shard_dir,
+            features,
+            labels,
+            scheme=args.scheme,
+            batch_size=args.batch_size,
+            seed=args.seed,
+            workers=args.workers,
+            executor=args.executor,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"encode failed: {exc}")
+        return 2
+    stats = dataset.stats()
+    print(f"encoded {args.dataset!r} into {dataset.path} in {stats.encode_seconds:.3f}s")
+    _print_stats(stats)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if not Dataset.exists(args.shard_dir):
+        print(f"no shard manifest under {args.shard_dir}")
+        return 2
+    dataset = Dataset.open(args.shard_dir)
+    print(f"dataset at {dataset.path}")
+    _print_stats(dataset.stats())
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    if not Dataset.exists(args.shard_dir):
+        print(f"no shard manifest under {args.shard_dir}")
+        return 2
+    dataset = Dataset.open(args.shard_dir)
+    try:
+        report = dataset.compact(
+            readvise=not args.no_readvise, sample_rows=args.sample_rows
+        )
+    except ValueError as exc:
+        print(f"compact failed: {exc}")
+        return 2
+    if not report.readvised:
+        print(f"manifest rewritten (format v2); {report.examined} shards untouched")
+        return 0
+    for change in report.changes:
+        print(
+            f"shard {change.batch_id:05d}: {change.scheme_before} -> "
+            f"{change.scheme_after} ({change.nbytes_before} -> {change.nbytes_after} bytes)"
+        )
+    print(
+        f"compacted {dataset.path} in {report.seconds:.3f}s: "
+        f"{report.n_reencoded} of {report.examined} shards re-encoded"
+        + (
+            f", payload {report.payload_bytes_before / 1e6:.2f} -> "
+            f"{report.payload_bytes_after / 1e6:.2f} MB"
+            if report.changed
+            else " (already optimal — no-op)"
+        )
+    )
+    return 0
+
+
+def _cmd_train_ooc(args: argparse.Namespace) -> int:
+    try:
+        estimator = Estimator(
+            args.model,
+            scheme=args.scheme,
             batch_size=args.batch_size,
             epochs=args.epochs,
             learning_rate=args.learning_rate,
-            shuffle_seed=args.seed,
-        )
-        trainer = OutOfCoreTrainer(
-            args.scheme,
-            config,
+            seed=args.seed,
             budget_bytes=int(args.budget_mb * 1e6) if args.budget_mb is not None else None,
             budget_ratio=args.budget_ratio,
             prefetch_depth=args.prefetch_depth,
             workers=args.workers,
             executor=args.executor,
         )
-        workers = resolve_workers(args.workers)
-        executor = resolve_executor(args.executor, workers)
     except (KeyError, ValueError) as exc:
         print(f"invalid train-ooc configuration: {exc}")
         return 2
-    model_cls = LinearSVMModel if args.model == "svm" else LogisticRegressionModel
-    model = model_cls(features.shape[1], seed=args.seed)
 
-    print(
-        f"sharding {features.shape[0]} rows x {features.shape[1]} cols of {args.dataset!r} "
-        f"as {args.scheme} (batch {args.batch_size}, encode: {executor}, {workers} workers)"
-    )
-    if args.scheme == "auto":
-        print("scheme 'auto': the advisor samples every batch and picks per shard")
-
+    reuse = args.shard_dir is not None and Dataset.exists(args.shard_dir)
     try:
-        if args.shard_dir is not None:
-            report = trainer.fit(
-                model, features, labels, args.shard_dir, checkpoint_to=args.checkpoint_dir
+        if reuse:
+            dataset = Dataset.open(args.shard_dir)
+            print(
+                f"training over the existing {len(dataset)} shards at {dataset.path} "
+                f"(scheme {dataset.scheme}; --dataset/--rows/--scheme ignored)"
             )
+            report = estimator.fit(dataset)
         else:
-            if args.checkpoint_dir is not None:
-                print("--checkpoint-dir needs --shard-dir: the checkpoint records the shard")
-                print("directory so `serve` and `predict` can find the features again")
+            profile = _profile_or_none(args.dataset)
+            if profile is None:
                 return 2
-            with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
-                report = trainer.fit(model, features, labels, tmp)
-    except ValueError as exc:
+            features, labels = profile.classification(args.rows, seed=args.seed)
+            print(
+                f"sharding {features.shape[0]} rows x {features.shape[1]} cols of "
+                f"{args.dataset!r} as {args.scheme} (batch {args.batch_size})"
+            )
+            if args.scheme == "auto":
+                print("scheme 'auto': the advisor samples every batch and picks per shard")
+            if args.shard_dir is not None:
+                report = estimator.fit(features, labels, shard_dir=args.shard_dir)
+            else:
+                if args.checkpoint_dir is not None:
+                    print("--checkpoint-dir needs --shard-dir: the checkpoint records the shard")
+                    print("directory so `serve` and `predict` can find the features again")
+                    return 2
+                with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+                    report = estimator.fit(features, labels, shard_dir=tmp)
+    except (FileNotFoundError, ValueError) as exc:
         print(f"train-ooc failed: {exc}")
         return 2
 
-    scheme_summary = ", ".join(
-        f"{name}x{count}" for name, count in sorted(trainer.dataset.scheme_counts().items())
+    stats = report.dataset.stats()
+    ooc = report.ooc
+    print(
+        f"shards: {stats.n_shards} batches ({_scheme_mix(stats.scheme_counts)}), "
+        f"{ooc.total_payload_bytes / 1e6:.2f} MB payload "
+        f"({ooc.physical_bytes / 1e6:.2f} MB paged), "
+        f"encoded in {stats.encode_seconds:.3f}s"
     )
     print(
-        f"shards: {len(trainer.dataset)} batches ({scheme_summary}), "
-        f"{report.total_payload_bytes / 1e6:.2f} MB payload "
-        f"({report.physical_bytes / 1e6:.2f} MB paged), "
-        f"encoded in {report.encode_seconds:.3f}s"
-    )
-    print(
-        f"buffer pool: {report.budget_bytes / 1e6:.2f} MB budget — "
-        f"dataset {'fits' if report.fits_in_memory else 'does NOT fit'} in memory"
+        f"buffer pool: {ooc.budget_bytes / 1e6:.2f} MB budget — "
+        f"dataset {'fits' if ooc.fits_in_memory else 'does NOT fit'} in memory"
     )
     print(f"\n{'epoch':>5} {'loss':>10} {'wall s':>8} {'sim IO s':>9}")
     for i, (loss, wall, io) in enumerate(
-        zip(report.history.epoch_losses, report.history.epoch_times, report.epoch_io_seconds),
+        zip(report.history.epoch_losses, report.history.epoch_times, ooc.epoch_io_seconds),
         start=1,
     ):
         print(f"{i:>5} {loss:>10.4f} {wall:>8.3f} {io:>9.5f}")
-    stats = report.pool_stats
+    pool = ooc.pool_stats
     print(
-        f"\npool stats: {stats.hits} hits / {stats.misses} misses "
-        f"(hit rate {stats.hit_rate:.0%}), {stats.evictions} evictions, "
-        f"{stats.bytes_read_from_disk / 1e6:.2f} MB read from disk"
+        f"\npool stats: {pool.hits} hits / {pool.misses} misses "
+        f"(hit rate {pool.hit_rate:.0%}), {pool.evictions} evictions, "
+        f"{pool.bytes_read_from_disk / 1e6:.2f} MB read from disk"
     )
-    if report.checkpoint_version is not None:
-        print(f"checkpoint: published v{report.checkpoint_version:05d} at {report.checkpoint_path}")
+    if args.checkpoint_dir is not None:
+        version, path = estimator.save(args.checkpoint_dir)
+        print(f"checkpoint: published v{version:05d} at {path}")
     return 0
 
 
@@ -154,10 +258,8 @@ def _load_service(args):
 
     Returns ``(service, checkpoint)`` or an int exit code on a clean failure.
     """
-    from repro.serve import PredictionService
-
     try:
-        service, checkpoint = PredictionService.from_registry(
+        service, checkpoint = open_service(
             args.checkpoint_dir,
             args.version if args.version == "latest" else int(args.version),
             shard_dir=args.shards,
@@ -262,6 +364,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_encode_args(sub: argparse.ArgumentParser, default_dataset: str) -> None:
+    """Flags shared by ``encode`` and ``train-ooc``'s sharding half."""
+    sub.add_argument("--dataset", default=default_dataset, help="dataset profile name")
+    sub.add_argument("--batch-size", type=int, default=250, help="mini-batch rows")
+    sub.add_argument(
+        "--scheme",
+        default=None,
+        help='compression scheme for the shards, or "auto" to let the advisor '
+        "pick per shard (the manifest records the choice for every shard)",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="data / shuffle / init seed")
+    sub.add_argument(
+        "--workers", type=int, default=None, help="encode workers (default: one per core)"
+    )
+    sub.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="encode executor kind",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -277,36 +401,51 @@ def build_parser() -> argparse.ArgumentParser:
     advise.set_defaults(func=_cmd_advise)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
-    experiment.add_argument("experiment_id", choices=sorted(experiments.EXPERIMENTS))
+    # Choices resolve lazily in _cmd_experiment; accept any id here so the
+    # parser itself stays a thin facade shell.
+    experiment.add_argument("experiment_id")
     experiment.add_argument("--quick", action="store_true", help="reduced row counts / epochs")
     experiment.set_defaults(func=_cmd_experiment)
+
+    encode = subparsers.add_parser(
+        "encode", help="shard a dataset profile into a compressed dataset on disk"
+    )
+    _add_encode_args(encode, default_dataset="census")
+    encode.set_defaults(scheme="auto")
+    encode.add_argument("--rows", type=int, default=4000, help="dataset rows to generate")
+    encode.add_argument("--shard-dir", required=True, help="directory to encode into")
+    encode.set_defaults(func=_cmd_encode)
+
+    stats = subparsers.add_parser(
+        "stats", help="summarise a shard directory (sizes, ratio, scheme mix)"
+    )
+    stats.add_argument("--shard-dir", required=True, help="shard directory to inspect")
+    stats.set_defaults(func=_cmd_stats)
+
+    compact = subparsers.add_parser(
+        "compact", help="re-advise shards and re-encode the ones whose scheme drifted"
+    )
+    compact.add_argument("--shard-dir", required=True, help="shard directory to compact")
+    compact.add_argument(
+        "--no-readvise",
+        action="store_true",
+        help="skip the advisor; only rewrite the manifest (v1 -> v2 upgrade)",
+    )
+    compact.add_argument(
+        "--sample-rows", type=int, default=100, help="rows the advisor samples per shard"
+    )
+    compact.set_defaults(func=_cmd_compact)
 
     train_ooc = subparsers.add_parser(
         "train-ooc",
         help="shard a dataset to disk and train a model out-of-core",
     )
-    train_ooc.add_argument("--dataset", default="kdd99", help="dataset profile name")
+    _add_encode_args(train_ooc, default_dataset="kdd99")
+    train_ooc.set_defaults(scheme="TOC")
     train_ooc.add_argument("--rows", type=int, default=4000, help="dataset rows to generate")
-    train_ooc.add_argument("--batch-size", type=int, default=250, help="mini-batch rows")
     train_ooc.add_argument("--epochs", type=int, default=3, help="training epochs")
     train_ooc.add_argument("--learning-rate", type=float, default=0.3, help="MGD step size")
-    train_ooc.add_argument(
-        "--scheme",
-        default="TOC",
-        help='compression scheme for the shards, or "auto" to let the advisor '
-        "pick per shard (the manifest records the choice for every shard)",
-    )
     train_ooc.add_argument("--model", choices=("logreg", "svm"), default="logreg")
-    train_ooc.add_argument("--seed", type=int, default=0, help="data / shuffle / init seed")
-    train_ooc.add_argument(
-        "--workers", type=int, default=None, help="encode workers (default: one per core)"
-    )
-    train_ooc.add_argument(
-        "--executor",
-        choices=("auto", "serial", "thread", "process"),
-        default="auto",
-        help="encode executor kind",
-    )
     train_ooc.add_argument(
         "--budget-mb",
         type=float,
@@ -323,7 +462,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--prefetch-depth", type=int, default=2, help="read-ahead depth (0 disables)"
     )
     train_ooc.add_argument(
-        "--shard-dir", default=None, help="persist shards here (default: temporary directory)"
+        "--shard-dir",
+        default=None,
+        help="persist shards here, or train over this directory when it already "
+        "holds a manifest (default: temporary directory)",
     )
     train_ooc.add_argument(
         "--checkpoint-dir",

@@ -1,0 +1,57 @@
+"""repro.api — the unified public facade over the whole stack.
+
+Four ideas cover everything a user does with the library:
+
+* :class:`Dataset` — a compressed shard directory's full lifecycle:
+  ``create`` (parallel encode, per-shard advisor with ``scheme="auto"``),
+  ``open``, ``append``, ``stats`` (per-shard scheme mix), and ``compact``
+  (re-advise on drift, re-encode only the shards whose winner changed);
+* :class:`Estimator` — scikit-style ``fit``/``partial_fit``/``predict``
+  over ndarray, SciPy sparse, or :class:`Dataset` input, routing in-memory
+  vs out-of-core automatically, with ``save``/``load`` through the
+  versioned checkpoint registry;
+* :func:`open_service` — turn a checkpoint registry into a live
+  micro-batched :class:`~repro.serve.service.PredictionService`;
+* the building blocks themselves (schemes, advisor, dataset profiles,
+  metrics) re-exported so scripts and examples need exactly one import.
+
+Every future surface (CLI subcommands, async serving, new backends) binds
+to this package; ``repro.engine`` / ``repro.serve`` / ``repro.storage``
+remain importable for advanced use but are not needed day to day.
+"""
+
+from repro import __version__
+from repro.api.dataset import Dataset, DatasetStats
+from repro.api.estimator import MODEL_ALIASES, Estimator, FitReport
+from repro.api.service import open_service
+from repro.compression import available_schemes, get_scheme
+from repro.core import TOCMatrix
+from repro.core.advisor import recommend_scheme
+from repro.data import DATASET_PROFILES, generate_dataset
+from repro.engine.compact import CompactReport, ShardChange
+from repro.ml.metrics import accuracy, error_rate
+from repro.serve.checkpoint import Checkpoint, ModelRegistry
+from repro.serve.service import PredictionService
+
+__all__ = [
+    "Checkpoint",
+    "CompactReport",
+    "DATASET_PROFILES",
+    "Dataset",
+    "DatasetStats",
+    "Estimator",
+    "FitReport",
+    "MODEL_ALIASES",
+    "ModelRegistry",
+    "PredictionService",
+    "ShardChange",
+    "TOCMatrix",
+    "__version__",
+    "accuracy",
+    "available_schemes",
+    "error_rate",
+    "generate_dataset",
+    "get_scheme",
+    "open_service",
+    "recommend_scheme",
+]

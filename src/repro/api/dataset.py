@@ -1,0 +1,251 @@
+"""The :class:`Dataset` handle: one object owning a shard directory's lifecycle.
+
+``repro.engine`` knows how to encode, persist, and stream compressed shards;
+this module wraps that machinery in a single handle covering the whole
+dataset lifecycle the paper's workloads need:
+
+* :meth:`Dataset.create` — shuffle-once split + parallel encode (the
+  Section 5.1 advisor picks per shard with ``scheme="auto"``);
+* :meth:`Dataset.open` — attach to an existing directory (manifest v1 or v2);
+* :meth:`Dataset.append` — grow a live dataset with new batches;
+* :meth:`Dataset.stats` — sizes, compression ratio, and the per-shard
+  scheme mix (what benchmark provenance and the ``stats`` CLI print);
+* :meth:`Dataset.compact` — re-advise every shard and re-encode only the
+  drifted ones, atomically rewriting the v2 manifest.
+
+Everything downstream (training, serving, benchmarks) takes a ``Dataset``;
+the underlying :class:`~repro.engine.shards.ShardedDataset` stays reachable
+through :attr:`Dataset.sharded` for advanced use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.minibatch import split_minibatches
+from repro.engine.compact import CompactReport, compact_dataset
+from repro.engine.encode import AUTO_SAMPLE_ROWS, AUTO_SCHEME
+from repro.engine.shards import MANIFEST_NAME, ShardedDataset, ShardInfo
+
+#: Default mini-batch row count (matches the training default).
+DEFAULT_BATCH_SIZE = 250
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """A point-in-time summary of one shard directory."""
+
+    path: str
+    n_shards: int
+    n_examples: int
+    n_cols: int
+    scheme: str
+    requested_scheme: str | list[str] | None
+    scheme_counts: dict[str, int] = field(default_factory=dict)
+    payload_bytes: int = 0
+    physical_bytes: int = 0
+    dense_bytes: int = 0
+    encode_seconds: float = 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense footprint over compressed payload (higher is better)."""
+        return self.dense_bytes / max(self.payload_bytes, 1)
+
+    @property
+    def is_mixed(self) -> bool:
+        return len(self.scheme_counts) > 1
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (benchmark records, CLI ``--json`` style output)."""
+        return {**asdict(self), "compression_ratio": self.compression_ratio}
+
+
+class Dataset:
+    """A compressed, sharded dataset on disk — the facade's data handle."""
+
+    def __init__(self, sharded: ShardedDataset):
+        self._sharded = sharded
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: Path | str,
+        features: np.ndarray,
+        labels: np.ndarray,
+        *,
+        scheme: str | Sequence[str] = AUTO_SCHEME,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        shuffle: bool = True,
+        seed: int | None = 0,
+        workers: int | None = None,
+        executor: str = "auto",
+    ) -> "Dataset":
+        """Shuffle once, split into mini-batches, and encode them to ``path``.
+
+        ``scheme`` is any registered scheme name, ``"auto"`` (default) for
+        per-shard advisor selection, or a sequence naming one scheme per
+        batch.  The directory is created if needed.
+        """
+        batches = split_minibatches(
+            features, labels, batch_size=batch_size, shuffle=shuffle, seed=seed
+        )
+        sharded = ShardedDataset.create(
+            path, batches, scheme, workers=workers, executor=executor
+        )
+        return cls(sharded)
+
+    @classmethod
+    def from_batches(
+        cls,
+        path: Path | str,
+        batches: list[tuple[np.ndarray, np.ndarray]],
+        *,
+        scheme: str | Sequence[str] = AUTO_SCHEME,
+        workers: int | None = None,
+        executor: str = "auto",
+    ) -> "Dataset":
+        """Encode pre-split ``(features, labels)`` batches to ``path``."""
+        sharded = ShardedDataset.create(
+            path, batches, scheme, workers=workers, executor=executor
+        )
+        return cls(sharded)
+
+    @classmethod
+    def open(cls, path: Path | str) -> "Dataset":
+        """Attach to an existing shard directory (manifest v1 or v2)."""
+        return cls(ShardedDataset.open(path))
+
+    @staticmethod
+    def exists(path: Path | str) -> bool:
+        """Whether ``path`` holds a shard manifest this class can open."""
+        return (Path(path) / MANIFEST_NAME).exists()
+
+    # -- growth ----------------------------------------------------------------
+
+    def append(
+        self,
+        batches,
+        labels: np.ndarray | None = None,
+        *,
+        scheme: str | Sequence[str] | None = None,
+        batch_size: int | None = None,
+        workers: int | None = None,
+        executor: str = "auto",
+    ) -> list[ShardInfo]:
+        """Append data as new shards (manifest and labels rewritten atomically).
+
+        Accepts either a list of ``(features, labels)`` mini-batch tuples, or
+        a ``(features, labels)`` array pair that is split in row order with
+        ``batch_size`` (default: the dataset's widest existing shard).  The
+        scheme defaults to the dataset's original request, so an ``"auto"``
+        dataset keeps advising per shard as it grows.
+        """
+        if labels is not None:
+            size = batch_size or max(
+                (s.n_rows for s in self._sharded.shards), default=DEFAULT_BATCH_SIZE
+            )
+            batches = split_minibatches(batches, labels, batch_size=size, shuffle=False)
+        return self._sharded.append(
+            list(batches), scheme, workers=workers, executor=executor
+        )
+
+    # -- maintenance -----------------------------------------------------------
+
+    def compact(
+        self, readvise: bool = True, *, sample_rows: int = AUTO_SAMPLE_ROWS
+    ) -> CompactReport:
+        """Re-advise every shard; re-encode only those whose winner changed.
+
+        This is the drift repair pass: shards advised long ago (or encoded
+        with a fixed scheme) are re-sampled through the Section 5.1 advisor,
+        and only the shards whose winning scheme differs from the manifest's
+        are re-encoded.  The v2 manifest is rewritten atomically; a second
+        compact right after a first is a no-op (``report.changed`` is
+        ``False``).  With ``readvise=False`` only the manifest is rewritten
+        (normalising a v1 directory to format v2).
+        """
+        return compact_dataset(
+            self._sharded, readvise=readvise, sample_rows=sample_rows
+        )
+
+    # -- inspection ------------------------------------------------------------
+
+    def stats(self) -> DatasetStats:
+        """Sizes, compression ratio, and the per-shard scheme mix."""
+        sharded = self._sharded
+        n_cols = sharded.shards[0].n_cols if sharded.shards else 0
+        return DatasetStats(
+            path=str(sharded.directory),
+            n_shards=len(sharded),
+            n_examples=sharded.n_examples,
+            n_cols=n_cols,
+            scheme=sharded.scheme_name,
+            requested_scheme=sharded.requested_scheme,
+            scheme_counts=sharded.scheme_counts(),
+            payload_bytes=sharded.total_payload_bytes(),
+            physical_bytes=sharded.physical_bytes(),
+            dense_bytes=sharded.n_examples * n_cols * 8,
+            encode_seconds=sharded.encode_seconds,
+        )
+
+    @property
+    def path(self) -> Path:
+        return self._sharded.directory
+
+    @property
+    def sharded(self) -> ShardedDataset:
+        """The underlying engine-level store (advanced use)."""
+        return self._sharded
+
+    @property
+    def n_examples(self) -> int:
+        return self._sharded.n_examples
+
+    @property
+    def n_cols(self) -> int:
+        return self._sharded.shards[0].n_cols if self._sharded.shards else 0
+
+    @property
+    def scheme(self) -> str:
+        """The uniform scheme name, or ``"mixed"`` when shards differ."""
+        return self._sharded.scheme_name
+
+    def scheme_counts(self) -> dict[str, int]:
+        return self._sharded.scheme_counts()
+
+    def __len__(self) -> int:
+        return len(self._sharded)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return (
+            f"Dataset({str(self.path)!r}, shards={len(self)}, "
+            f"examples={self.n_examples}, scheme={self.scheme!r})"
+        )
+
+    # -- iteration -------------------------------------------------------------
+
+    def batches(self) -> Iterator[tuple[object, np.ndarray]]:
+        """Yield ``(compressed_matrix, labels)`` per shard, in batch order.
+
+        The matrices are :class:`~repro.compression.base.CompressedMatrix`
+        instances — every model and kernel in the stack runs on them directly
+        through :mod:`repro.exec`, so iteration never densifies a shard.
+        """
+        for shard in self._sharded.shards:
+            yield (
+                self._sharded.decode(shard.batch_id),
+                self._sharded.labels_for(shard.batch_id),
+            )
+
+    def labels(self) -> np.ndarray:
+        """All labels concatenated in batch order."""
+        return np.concatenate(
+            [self._sharded.labels_for(s.batch_id) for s in self._sharded.shards]
+        )

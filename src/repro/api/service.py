@@ -1,0 +1,47 @@
+"""Serving through the facade: one call from registry to live service.
+
+:func:`open_service` is the only serving entry point the CLI and examples
+need: it resolves a checkpoint version, opens the shard directory the
+checkpoint recorded (or an override), and wires the feature store,
+micro-batcher, and prediction cache together.  The returned
+:class:`~repro.serve.service.PredictionService` is a context manager — use
+``with`` so the batcher thread is shut down cleanly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.serve.checkpoint import Checkpoint, ModelRegistry
+from repro.serve.service import PredictionService
+
+
+def open_service(
+    checkpoint_dir: Path | str,
+    version: int | str = "latest",
+    *,
+    shard_dir: Path | str | None = None,
+    max_batch_size: int = 32,
+    max_wait_seconds: float = 0.0,
+    cache_size: int = 256,
+    store_kwargs: dict | None = None,
+) -> tuple[PredictionService, Checkpoint]:
+    """Build a prediction service from a checkpoint registry.
+
+    ``shard_dir`` overrides the directory recorded in the checkpoint; when
+    neither is available the service still answers feature-vector requests
+    (but not row-id lookups).  Returns ``(service, checkpoint)`` so callers
+    can print provenance (version, model, scheme) next to their stats.
+    """
+    return PredictionService.from_registry(
+        checkpoint_dir,
+        version,
+        shard_dir=shard_dir,
+        store_kwargs=store_kwargs,
+        max_batch_size=max_batch_size,
+        max_wait_seconds=max_wait_seconds,
+        cache_size=cache_size,
+    )
+
+
+__all__ = ["ModelRegistry", "PredictionService", "open_service"]

@@ -14,6 +14,7 @@ imply but the seed code never assembled:
    (:mod:`repro.engine.trainer`), or hand the shards to a Bismarck session.
 """
 
+from repro.engine.compact import CompactReport, ShardChange, compact_dataset, readvise_shard
 from repro.engine.encode import (
     AUTO_SCHEME,
     EncodedBatch,
@@ -27,13 +28,17 @@ from repro.engine.trainer import OOCTrainReport, OutOfCoreTrainer
 
 __all__ = [
     "AUTO_SCHEME",
+    "CompactReport",
     "EncodedBatch",
     "OOCTrainReport",
     "OutOfCoreTrainer",
+    "ShardChange",
     "ShardInfo",
     "ShardedDataset",
+    "compact_dataset",
     "encode_batches",
     "prefetch_iter",
+    "readvise_shard",
     "resolve_executor",
     "resolve_workers",
 ]

@@ -1,0 +1,156 @@
+"""Compaction with re-advising for long-lived shard directories.
+
+Shards are advised once, at encode time (``scheme="auto"`` samples each
+batch through the Section 5.1 advisor).  A dataset that lives long enough to
+be appended to — or whose advisor has since changed — drifts: the scheme a
+shard was encoded with may no longer be the scheme the advisor would pick
+today.  Compaction closes that gap:
+
+1. every shard is re-advised on a row sample — sliced straight off the
+   compressed form with :func:`repro.exec.row_slice`, so an unchanged shard
+   costs a sample decode, not a full one (byte-block schemes, whose only
+   row path is a full inflate, are the exception);
+2. only the shards whose winning scheme *changed* are re-encoded — the
+   advisor rule is shared with encode time
+   (:func:`repro.engine.encode.advise_scheme`), so an already-optimal
+   directory compacts to a no-op;
+3. re-encoded payloads are staged under *new* generation filenames
+   (:meth:`~repro.engine.shards.ShardedDataset.stage_shard`), the (format
+   v2) manifest is rewritten atomically once at the end, and only then are
+   the superseded files deleted.  A crash at any point leaves a readable
+   dataset: before the manifest swap every reader still sees the old files
+   with the old schemes; after it, the new ones.
+
+With ``readvise=False`` the pass skips the advisor entirely and only
+rewrites the manifest — a cheap way to normalise a v1 (single-scheme)
+manifest to format v2 in place.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.compression.registry import get_scheme
+from repro.engine.encode import AUTO_SAMPLE_ROWS, advise_scheme
+from repro.engine.shards import ShardedDataset
+from repro.exec import row_slice, supports_direct_ops
+
+
+@dataclass(frozen=True)
+class ShardChange:
+    """One shard re-encoded by a compaction pass."""
+
+    batch_id: int
+    scheme_before: str
+    scheme_after: str
+    nbytes_before: int
+    nbytes_after: int
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.nbytes_before - self.nbytes_after
+
+
+@dataclass
+class CompactReport:
+    """What one compaction pass examined and changed."""
+
+    examined: int = 0
+    changes: list[ShardChange] = field(default_factory=list)
+    payload_bytes_before: int = 0
+    payload_bytes_after: int = 0
+    seconds: float = 0.0
+    sample_rows: int = AUTO_SAMPLE_ROWS
+    readvised: bool = True
+
+    @property
+    def n_reencoded(self) -> int:
+        return len(self.changes)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.changes)
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.payload_bytes_before - self.payload_bytes_after
+
+
+def _sample_rows(matrix, n_rows: int, sample_rows: int):
+    """A dense row-prefix sample of one decoded shard, cheaply.
+
+    Direct-op schemes row-slice the compressed form (only the sampled rows
+    are densified); byte-block schemes can only inflate whole, so they pay
+    the full decode either way.
+    """
+    prefix = list(range(min(n_rows, sample_rows)))
+    if supports_direct_ops(matrix):
+        return row_slice(matrix, prefix)
+    return matrix.to_dense()[: len(prefix)]
+
+
+def readvise_shard(
+    dataset: ShardedDataset, batch_id: int, sample_rows: int = AUTO_SAMPLE_ROWS
+) -> str:
+    """The scheme the advisor would pick for one shard *today*.
+
+    Decoding is lossless, so the sampled rows are exactly the rows the
+    encoder saw — a shard whose data has not changed always re-advises to
+    the scheme ``"auto"`` encoding picked for it.
+    """
+    matrix = dataset.decode(batch_id)
+    n_rows = dataset.shards[batch_id].n_rows
+    return advise_scheme(_sample_rows(matrix, n_rows, sample_rows))
+
+
+def compact_dataset(
+    dataset: ShardedDataset,
+    *,
+    readvise: bool = True,
+    sample_rows: int = AUTO_SAMPLE_ROWS,
+) -> CompactReport:
+    """Re-advise every shard and re-encode the ones whose winner changed.
+
+    Returns a :class:`CompactReport`; ``report.changed`` is ``False`` when
+    the directory was already optimal (which makes compaction idempotent —
+    a second pass right after a first is always a no-op).
+    """
+    if sample_rows < 1:
+        raise ValueError("sample_rows must be at least 1")
+    start = time.perf_counter()
+    report = CompactReport(
+        examined=len(dataset.shards),
+        payload_bytes_before=dataset.total_payload_bytes(),
+        sample_rows=sample_rows,
+        readvised=readvise,
+    )
+    superseded: list[str] = []
+    if readvise:
+        for shard in list(dataset.shards):
+            matrix = dataset.decode(shard.batch_id)
+            winner = advise_scheme(_sample_rows(matrix, shard.n_rows, sample_rows))
+            if winner == shard.scheme:
+                continue
+            # Full decode only for the shards actually being re-encoded.
+            payload = get_scheme(winner).compress(matrix.to_dense()).to_bytes()
+            updated = dataset.stage_shard(shard.batch_id, payload, winner)
+            superseded.append(shard.filename)
+            report.changes.append(
+                ShardChange(
+                    batch_id=shard.batch_id,
+                    scheme_before=shard.scheme,
+                    scheme_after=winner,
+                    nbytes_before=shard.nbytes,
+                    nbytes_after=updated.nbytes,
+                )
+            )
+    # One atomic manifest write publishes every staged shard (and, for a v1
+    # directory, upgrades the on-disk manifest to format v2).  Only after
+    # that swap are the superseded generation files garbage.
+    dataset.rewrite_manifest()
+    for filename in superseded:
+        (dataset.directory / filename).unlink(missing_ok=True)
+    report.payload_bytes_after = dataset.total_payload_bytes()
+    report.seconds = time.perf_counter() - start
+    return report

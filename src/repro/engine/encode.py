@@ -53,18 +53,30 @@ class EncodedBatch:
         return len(self.payload)
 
 
+def advise_scheme(sample_rows: np.ndarray) -> str:
+    """The Section 5.1 rule: the advisor's winner for a dense row sample.
+
+    This one function is the whole encode-time / compact-time selection
+    policy — ``scheme="auto"`` encoding and
+    :func:`repro.engine.compact.readvise_shard` both call it, so the two can
+    never diverge (which is what keeps a freshly-advised dataset compacting
+    to a no-op).
+    """
+    from repro.core.advisor import recommend_scheme
+
+    return recommend_scheme(sample_rows).best.name
+
+
 def resolve_scheme_name(scheme_name: str, features: np.ndarray) -> str:
     """Map :data:`AUTO_SCHEME` to a concrete scheme for one batch.
 
-    Fixed names pass through untouched; ``"auto"`` runs the advisor on a row
-    sample of ``features`` and returns the winner.
+    Fixed names pass through untouched; ``"auto"`` runs the advisor on a
+    deterministic row prefix of ``features`` (batches come out of a shuffled
+    split, so the prefix is already a random sample) and returns the winner.
     """
     if scheme_name != AUTO_SCHEME:
         return scheme_name
-    from repro.core.advisor import recommend_scheme
-
-    sample = features[: min(features.shape[0], AUTO_SAMPLE_ROWS)]
-    return recommend_scheme(sample).best.name
+    return advise_scheme(features[: min(features.shape[0], AUTO_SAMPLE_ROWS)])
 
 
 def _encode_one(task: tuple[int, np.ndarray, str]) -> EncodedBatch:

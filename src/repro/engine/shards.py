@@ -26,11 +26,12 @@ by applying that scheme to every shard.
 from __future__ import annotations
 
 import json
+import os
+import re
 import time
-import warnings
 from collections import Counter
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -58,6 +59,12 @@ SUPPORTED_FORMAT_VERSIONS = (1, 2)
 #: The dataset-level scheme name reported when shards mix schemes.
 MIXED_SCHEME = "mixed"
 
+#: Shard filenames: ``shard-00005.bin`` when first written, then
+#: ``shard-00005.g1.bin``, ``.g2`` ... as :meth:`ShardedDataset.stage_shard`
+#: re-encodes them (each rewrite gets a fresh name so the old file stays
+#: valid until the manifest swap publishes the new one).
+_SHARD_FILENAME_RE = re.compile(r"^(?P<stem>.+?)(?:\.g(?P<gen>\d+))?\.bin$")
+
 
 @dataclass(frozen=True)
 class ShardInfo:
@@ -81,6 +88,7 @@ class ShardedDataset:
         labels: dict[int, np.ndarray],
         encode_seconds: float = 0.0,
         requested_scheme: str | list[str] | None = None,
+        encode_executor: str | None = None,
     ):
         self.directory = Path(directory)
         self.shards = list(shards)
@@ -88,6 +96,8 @@ class ShardedDataset:
         self.encode_seconds = encode_seconds
         #: What the encoder was asked for (e.g. ``"auto"``), for provenance.
         self.requested_scheme = requested_scheme
+        #: The executor kind that last encoded shards, for provenance.
+        self.encode_executor = encode_executor
         self._schemes: dict[str, CompressionScheme] = {}
 
     # -- creation -------------------------------------------------------------
@@ -124,31 +134,24 @@ class ShardedDataset:
 
         shards: list[ShardInfo] = []
         labels: dict[int, np.ndarray] = {}
-        label_arrays: dict[str, np.ndarray] = {}
         for enc, (_, batch_labels) in zip(encoded, batches):
             info = cls._write_shard(directory, enc)
             shards.append(info)
             labels[enc.batch_id] = np.asarray(batch_labels)
-            label_arrays[f"y{enc.batch_id:05d}"] = labels[enc.batch_id]
 
-        np.savez(directory / LABELS_NAME, **label_arrays)
         requested = scheme_name if isinstance(scheme_name, str) else list(scheme_name)
         dataset = cls(
-            directory, shards, labels, encode_seconds, requested_scheme=requested
-        )
-        manifest = {
-            "format_version": FORMAT_VERSION,
-            # Dataset-level summary (the uniform scheme, or "mixed"); the
-            # authoritative per-shard schemes live in the shard rows.
-            "scheme": dataset.scheme_name,
-            "requested_scheme": requested,
-            "encode_seconds": encode_seconds,
+            directory,
+            shards,
+            labels,
+            encode_seconds,
+            requested_scheme=requested,
             # Provenance: the executor actually used, not the requested kind
             # ("auto" resolves differently per machine).
-            "encode_executor": resolve_executor(executor, resolve_workers(workers)),
-            "shards": [vars(s) for s in shards],
-        }
-        (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+            encode_executor=resolve_executor(executor, resolve_workers(workers)),
+        )
+        dataset._write_labels()
+        dataset.rewrite_manifest()
         return dataset
 
     @staticmethod
@@ -194,7 +197,122 @@ class ShardedDataset:
             labels,
             encode_seconds=float(manifest.get("encode_seconds", 0.0)),
             requested_scheme=manifest.get("requested_scheme", manifest.get("scheme")),
+            encode_executor=manifest.get("encode_executor"),
         )
+
+    # -- durability ------------------------------------------------------------
+
+    def _write_labels(self) -> None:
+        """Atomically persist the label archive (write-new, then rename)."""
+        tmp = self.directory / f".{LABELS_NAME}.tmp.npz"
+        np.savez(tmp, **{f"y{bid:05d}": y for bid, y in self._labels.items()})
+        os.replace(tmp, self.directory / LABELS_NAME)
+
+    def rewrite_manifest(self) -> Path:
+        """Atomically rewrite the manifest (format v2) from the current state.
+
+        The new manifest is written next to the old one and swapped in with
+        ``os.replace``, so a crash mid-write never leaves a torn manifest —
+        readers see either the old dataset or the new one.
+        """
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            # Dataset-level summary (the uniform scheme, or "mixed"); the
+            # authoritative per-shard schemes live in the shard rows.
+            "scheme": self.scheme_name,
+            "requested_scheme": self.requested_scheme,
+            "encode_seconds": self.encode_seconds,
+            "encode_executor": self.encode_executor,
+            "shards": [vars(s) for s in self.shards],
+        }
+        path = self.directory / MANIFEST_NAME
+        tmp = self.directory / f".{MANIFEST_NAME}.tmp"
+        tmp.write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp, path)
+        return path
+
+    # -- mutation --------------------------------------------------------------
+
+    def append(
+        self,
+        batches: list[tuple[np.ndarray, np.ndarray]],
+        scheme_name: str | Sequence[str] | None = None,
+        *,
+        workers: int | None = None,
+        executor: str = "auto",
+    ) -> list[ShardInfo]:
+        """Encode and persist additional ``(features, labels)`` batches.
+
+        New shards get the next batch ids; the manifest and label archive are
+        rewritten atomically once the shard files are on disk.  ``scheme_name``
+        defaults to what the dataset was originally encoded with (``"auto"``
+        when the original request was per-batch), so appended shards keep
+        flowing through the same advisor policy.
+        """
+        if not batches:
+            raise ValueError("at least one mini-batch is required")
+        if scheme_name is None:
+            requested = self.requested_scheme
+            scheme_name = requested if isinstance(requested, str) else AUTO_SCHEME
+        n_cols = self.shards[0].n_cols if self.shards else None
+        for features, _ in batches:
+            width = np.asarray(features).shape[1]
+            if n_cols is not None and width != n_cols:
+                raise ValueError(
+                    f"appended batch has {width} columns but the dataset has {n_cols}"
+                )
+
+        start = time.perf_counter()
+        encoded = encode_batches(
+            [features for features, _ in batches],
+            scheme_name,
+            workers=workers,
+            executor=executor,
+        )
+        self.encode_seconds += time.perf_counter() - start
+        self.encode_executor = resolve_executor(executor, resolve_workers(workers))
+
+        next_id = max((s.batch_id for s in self.shards), default=-1) + 1
+        added: list[ShardInfo] = []
+        for enc, (_, batch_labels) in zip(encoded, batches):
+            enc = replace(enc, batch_id=next_id + enc.batch_id)
+            info = self._write_shard(self.directory, enc)
+            self.shards.append(info)
+            self._labels[enc.batch_id] = np.asarray(batch_labels)
+            added.append(info)
+        self._write_labels()
+        self.rewrite_manifest()
+        return added
+
+    def stage_shard(self, batch_id: int, payload: bytes, scheme_name: str) -> ShardInfo:
+        """Stage a re-encoded payload for one shard under a *new* filename.
+
+        The replacement file is written next to the old one (generation
+        suffix: ``shard-00005.bin`` -> ``shard-00005.g1.bin`` -> ``.g2`` ...)
+        and nothing references it until the caller publishes it with one
+        :meth:`rewrite_manifest`.  That ordering is what makes multi-shard
+        rewrites crash-safe: until the manifest swap, every reader keeps
+        decoding the old file with the old scheme; after it, the new file
+        with the new one.  Callers delete the superseded files only after
+        the swap (see :func:`repro.engine.compact.compact_dataset`).
+        """
+        index = next(
+            (i for i, s in enumerate(self.shards) if s.batch_id == batch_id), None
+        )
+        if index is None:
+            raise KeyError(f"no shard with batch id {batch_id}")
+        info = self.shards[index]
+        match = _SHARD_FILENAME_RE.match(info.filename)
+        if match is None:
+            raise ValueError(f"unrecognised shard filename {info.filename!r}")
+        generation = int(match.group("gen") or 0) + 1
+        filename = f"{match.group('stem')}.g{generation}.bin"
+        (self.directory / filename).write_bytes(payload)
+        updated = replace(
+            info, filename=filename, nbytes=len(payload), scheme=scheme_name
+        )
+        self.shards[index] = updated
+        return updated
 
     # -- schemes --------------------------------------------------------------
 
@@ -247,21 +365,12 @@ class ShardedDataset:
             path = self.directory / shard.filename
             pool.put_on_disk(shard.batch_id, size=shard.nbytes, loader=path.read_bytes)
 
-    def as_blob_table(self, pool: BufferPool, scheme: CompressionScheme | None = None) -> BlobTable:
+    def as_blob_table(self, pool: BufferPool) -> BlobTable:
         """Expose the shards as a Bismarck-style blob table over ``pool``.
 
-        The decoder for every row is resolved from the manifest, so callers
-        no longer pass the scheme the dataset already records; the parameter
-        is deprecated and ignored apart from the warning.
+        The decoder for every row is resolved from the manifest; the old
+        ``scheme`` parameter (deprecated in the previous release) is gone.
         """
-        if scheme is not None:
-            warnings.warn(
-                "as_blob_table(scheme=...) is deprecated: the manifest already "
-                "records each shard's scheme and the table resolves decoders "
-                "from it",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         table = BlobTable(None, pool)
         for shard in self.shards:
             path = self.directory / shard.filename

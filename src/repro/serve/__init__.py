@@ -19,6 +19,8 @@ plus a shard directory into a high-throughput prediction service:
 
 from repro.serve.batcher import MicroBatcher, MicroBatcherStats
 from repro.serve.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    SUPPORTED_CHECKPOINT_VERSIONS,
     Checkpoint,
     ModelRegistry,
     load_checkpoint,
@@ -28,6 +30,8 @@ from repro.serve.feature_store import FeatureStore, FeatureStoreStats
 from repro.serve.service import PredictionService, ServiceStats
 
 __all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "SUPPORTED_CHECKPOINT_VERSIONS",
     "Checkpoint",
     "FeatureStore",
     "FeatureStoreStats",

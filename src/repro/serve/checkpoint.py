@@ -36,7 +36,14 @@ from repro.ml.models import (
 
 CHECKPOINT_NAME = "checkpoint.json"
 WEIGHTS_NAME = "weights.npz"
-CHECKPOINT_FORMAT_VERSION = 1
+
+#: Format v2 adds the ``"api"`` block (facade metadata written by
+#: :meth:`repro.api.Estimator.save`); v1 checkpoints predate it and load with
+#: an empty block.
+CHECKPOINT_FORMAT_VERSION = 2
+
+#: Checkpoint formats :func:`load_checkpoint` understands.
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
 
 #: Models the checkpoint layer can rebuild, keyed by their ``name`` attribute.
 MODEL_CLASSES = {
@@ -86,6 +93,10 @@ class Checkpoint:
     created_unix: float = 0.0
     version: int | None = None
     path: Path | None = None
+    #: Facade metadata (estimator hyper-parameters, fit provenance); empty
+    #: for format-v1 checkpoints, which predate the ``repro.api`` layer.
+    api_meta: dict = field(default_factory=dict)
+    format_version: int = CHECKPOINT_FORMAT_VERSION
 
     @property
     def shard_dir(self) -> Path | None:
@@ -100,8 +111,14 @@ def save_checkpoint(
     *,
     scheme_name: str | None = None,
     dataset_meta: dict | None = None,
+    api_meta: dict | None = None,
 ) -> Path:
-    """Persist ``model`` (weights + rebuild config + provenance) to ``directory``."""
+    """Persist ``model`` (weights + rebuild config + provenance) to ``directory``.
+
+    ``api_meta`` is the facade's block (format v2): estimator configuration
+    and fit provenance that :meth:`repro.api.Estimator.load` uses to rebuild
+    the estimator around the model.
+    """
     model_name = getattr(model, "name", None)
     if model_name not in MODEL_CLASSES:
         raise ValueError(
@@ -116,6 +133,7 @@ def save_checkpoint(
         "config": _model_config(model),
         "scheme": scheme_name,
         "dataset": dict(dataset_meta or {}),
+        "api": dict(api_meta or {}),
         "created_unix": time.time(),
     }
     (directory / CHECKPOINT_NAME).write_text(json.dumps(manifest, indent=2))
@@ -129,10 +147,11 @@ def load_checkpoint(directory: Path | str) -> Checkpoint:
     if not manifest_path.exists():
         raise FileNotFoundError(f"no checkpoint at {manifest_path}")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+    version = manifest.get("format_version")
+    if version not in SUPPORTED_CHECKPOINT_VERSIONS:
         raise ValueError(
-            f"unsupported checkpoint format {manifest.get('format_version')!r} "
-            f"(expected {CHECKPOINT_FORMAT_VERSION})"
+            f"unsupported checkpoint format {version!r} "
+            f"(expected one of {SUPPORTED_CHECKPOINT_VERSIONS})"
         )
     model = _build_model(manifest["model"], manifest["config"])
     with np.load(directory / WEIGHTS_NAME) as archive:
@@ -144,6 +163,9 @@ def load_checkpoint(directory: Path | str) -> Checkpoint:
         dataset_meta=manifest.get("dataset", {}),
         created_unix=float(manifest.get("created_unix", 0.0)),
         path=directory,
+        # v1 predates the facade block; an absent key migrates to empty.
+        api_meta=manifest.get("api", {}),
+        format_version=int(version),
     )
 
 
@@ -185,6 +207,7 @@ class ModelRegistry:
         *,
         scheme_name: str | None = None,
         dataset_meta: dict | None = None,
+        api_meta: dict | None = None,
     ) -> int:
         """Checkpoint ``model`` as the next version and return its number."""
         versions = self.versions()
@@ -194,6 +217,7 @@ class ModelRegistry:
             self.path_for(version),
             scheme_name=scheme_name,
             dataset_meta=dataset_meta,
+            api_meta=api_meta,
         )
         return version
 

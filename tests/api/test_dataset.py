@@ -1,0 +1,208 @@
+"""Tests for the :class:`repro.api.Dataset` lifecycle handle."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Dataset
+from repro.data.registry import DATASET_PROFILES
+from repro.engine.shards import MANIFEST_NAME, ShardedDataset
+from repro.engine.trainer import OutOfCoreTrainer
+from repro.ml.models import LogisticRegressionModel
+from repro.ml.optimizer import GradientDescentConfig
+from repro.serve.feature_store import FeatureStore
+
+
+@pytest.fixture(scope="module")
+def census():
+    return DATASET_PROFILES["census"].classification(400, seed=3)
+
+
+@pytest.fixture()
+def dataset(tmp_path, census):
+    features, labels = census
+    return Dataset.create(
+        tmp_path / "shards", features, labels, scheme="TOC", batch_size=100,
+        executor="serial",
+    )
+
+
+class TestLifecycle:
+    def test_create_open_round_trip(self, tmp_path, census, dataset):
+        features, _ = census
+        reopened = Dataset.open(dataset.path)
+        assert len(reopened) == len(dataset) == 4
+        assert reopened.n_examples == features.shape[0]
+        assert reopened.scheme == "TOC"
+        assert Dataset.exists(dataset.path)
+        assert not Dataset.exists(tmp_path / "elsewhere")
+
+    def test_create_unknown_scheme_rejected(self, tmp_path, census):
+        features, labels = census
+        with pytest.raises(KeyError):
+            Dataset.create(tmp_path / "bad", features, labels, scheme="LZ77",
+                           executor="serial")
+
+    def test_batches_decode_losslessly(self, census, dataset):
+        features, labels = census
+        decoded_rows = sum(m.to_dense().shape[0] for m, _ in dataset.batches())
+        assert decoded_rows == features.shape[0]
+        all_labels = dataset.labels()
+        assert all_labels.shape == labels.shape
+        assert set(np.unique(all_labels)) <= set(np.unique(labels))
+
+    def test_append_arrays_and_batches(self, census, dataset):
+        features, labels = census
+        n_before = len(dataset)
+        added = dataset.append(features[:150], labels[:150], executor="serial")
+        assert [a.batch_id for a in added] == [n_before, n_before + 1]
+
+        added = dataset.append([(features[:40], labels[:40])], executor="serial")
+        assert added[0].batch_id == n_before + 2
+        reopened = Dataset.open(dataset.path)
+        assert reopened.n_examples == features.shape[0] + 150 + 40
+
+    def test_stats_reports_mix_and_ratio(self, census, dataset):
+        stats = dataset.stats()
+        assert stats.n_shards == 4
+        assert stats.scheme_counts == {"TOC": 4}
+        assert stats.n_cols == census[0].shape[1]
+        assert stats.compression_ratio > 1.0
+        assert not stats.is_mixed
+        as_dict = stats.as_dict()
+        assert as_dict["scheme_counts"] == {"TOC": 4}
+        assert as_dict["compression_ratio"] == stats.compression_ratio
+        json.dumps(as_dict)  # bench provenance must be JSON-serialisable
+
+
+class TestCompact:
+    def test_reencodes_drifted_shards(self, tmp_path, census):
+        features, labels = census
+        # Force a drifted directory: DEN on sparse census data is exactly the
+        # scheme the advisor would never pick.
+        dataset = Dataset.create(
+            tmp_path / "den", features, labels, scheme="DEN", batch_size=100,
+            executor="serial",
+        )
+        before = dataset.stats().payload_bytes
+        report = dataset.compact(readvise=True)
+
+        assert report.examined == 4
+        assert report.n_reencoded == 4
+        assert {c.scheme_before for c in report.changes} == {"DEN"}
+        assert all(c.scheme_after != "DEN" for c in report.changes)
+        assert report.payload_bytes_after < before
+        assert report.bytes_saved > 0
+
+    def test_compacted_directory_trains_and_serves(self, tmp_path, census):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / "den", features, labels, scheme="DEN", batch_size=100,
+            executor="serial",
+        )
+        dataset.compact()
+
+        # The manifest on disk is format v2 and names the new schemes.
+        manifest = json.loads((dataset.path / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == 2
+        assert all(row["scheme"] != "DEN" for row in manifest["shards"])
+
+        # The trainer streams the compacted directory...
+        reopened = ShardedDataset.open(dataset.path)
+        trainer = OutOfCoreTrainer(
+            "auto", GradientDescentConfig(batch_size=100, epochs=1, learning_rate=0.3)
+        )
+        trainer.attach(reopened)
+        model = LogisticRegressionModel(features.shape[1], seed=0)
+        report = trainer.train(model)
+        assert np.isfinite(report.final_loss)
+
+        # ...and the feature store row-slices it, returning the original rows.
+        store = FeatureStore.open(dataset.path)
+        row = store.get_row(0)
+        decoded = reopened.decode(0).to_dense()
+        np.testing.assert_allclose(row, decoded[0])
+
+    def test_second_compact_is_a_no_op(self, tmp_path, census):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / "den", features, labels, scheme="DEN", batch_size=100,
+            executor="serial",
+        )
+        first = dataset.compact()
+        assert first.changed
+
+        manifest_before = (dataset.path / MANIFEST_NAME).read_text()
+        payloads_before = [dataset.sharded.read_payload(i) for i in range(len(dataset))]
+        second = dataset.compact()
+        assert not second.changed
+        assert second.n_reencoded == 0
+        assert second.payload_bytes_after == first.payload_bytes_after
+        assert [dataset.sharded.read_payload(i) for i in range(len(dataset))] == payloads_before
+        # The manifest rewrite is byte-identical modulo nothing: same content.
+        assert json.loads((dataset.path / MANIFEST_NAME).read_text()) == json.loads(
+            manifest_before
+        )
+
+    def test_compact_removes_superseded_shard_files(self, tmp_path, census):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / "den", features, labels, scheme="DEN", batch_size=100,
+            executor="serial",
+        )
+        old_files = [s.filename for s in dataset.sharded.shards]
+        dataset.compact()
+        new_files = [s.filename for s in dataset.sharded.shards]
+        assert set(old_files).isdisjoint(new_files)  # staged under new names
+        for filename in old_files:
+            assert not (dataset.path / filename).exists()  # cleaned after swap
+        for filename in new_files:
+            assert (dataset.path / filename).exists()
+
+    def test_already_optimal_dataset_is_untouched(self, dataset):
+        # "auto"-advised TOC shards on census data re-advise to TOC.
+        report = dataset.compact()
+        assert not report.changed
+
+    def test_no_readvise_only_rewrites_manifest(self, tmp_path, census):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / "den", features, labels, scheme="DEN", batch_size=100,
+            executor="serial",
+        )
+        report = dataset.compact(readvise=False)
+        assert not report.readvised
+        assert not report.changed
+        assert dataset.stats().scheme_counts == {"DEN": 4}
+
+    def test_upgrades_v1_manifest_in_place(self, tmp_path, census):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / "v1", features, labels, scheme="TOC", batch_size=100,
+            executor="serial",
+        )
+        # Downgrade the on-disk manifest to the PR 1 format.
+        manifest = json.loads((dataset.path / MANIFEST_NAME).read_text())
+        v1 = {
+            "format_version": 1,
+            "scheme": "TOC",
+            "encode_seconds": manifest["encode_seconds"],
+            "shards": [
+                {k: v for k, v in row.items() if k != "scheme"}
+                for row in manifest["shards"]
+            ],
+        }
+        (dataset.path / MANIFEST_NAME).write_text(json.dumps(v1))
+
+        reopened = Dataset.open(dataset.path)
+        reopened.compact(readvise=False)
+        upgraded = json.loads((dataset.path / MANIFEST_NAME).read_text())
+        assert upgraded["format_version"] == 2
+        assert all(row["scheme"] == "TOC" for row in upgraded["shards"])
+
+    def test_bad_sample_rows_rejected(self, dataset):
+        with pytest.raises(ValueError, match="sample_rows"):
+            dataset.compact(sample_rows=0)

@@ -207,11 +207,58 @@ class TestShardedDataset:
             assert compressed.scheme_name == dataset.shards[batch_id].scheme
             np.testing.assert_allclose(compressed.to_dense(), mixed_batches[batch_id][0])
 
-    def test_as_blob_table_scheme_parameter_deprecated(self, tmp_path, small_batches):
+    def test_as_blob_table_scheme_parameter_removed(self, tmp_path, small_batches):
+        # The parameter was deprecated for one release and is now gone: the
+        # manifest is the only source of per-shard decoders.
         dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
         pool = BufferPool(budget_bytes=10 * dataset.total_payload_bytes())
-        with pytest.warns(DeprecationWarning, match="manifest already"):
-            table = dataset.as_blob_table(pool, get_scheme("TOC"))
-        # The deprecated argument is ignored: decoding still works.
-        compressed, _ = table.read_batch(0)
-        np.testing.assert_allclose(compressed.to_dense(), small_batches[0][0])
+        with pytest.raises(TypeError):
+            dataset.as_blob_table(pool, get_scheme("TOC"))
+
+    def test_append_extends_manifest_and_labels(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        n_before = len(dataset)
+        rng = np.random.default_rng(9)
+        extra_x = rng.random((40, small_batches[0][0].shape[1]))
+        extra_y = rng.integers(0, 2, size=40).astype(np.float64)
+        added = dataset.append([(extra_x, extra_y)], executor="serial")
+
+        assert [info.batch_id for info in added] == [n_before]
+        assert added[0].scheme == "TOC"  # default: the dataset's requested scheme
+        reopened = ShardedDataset.open(tmp_path)
+        assert len(reopened) == n_before + 1
+        np.testing.assert_allclose(reopened.decode(n_before).to_dense(), extra_x)
+        np.testing.assert_array_equal(reopened.labels_for(n_before), extra_y)
+
+    def test_append_rejects_mismatched_width(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        bad = np.zeros((4, small_batches[0][0].shape[1] + 1))
+        with pytest.raises(ValueError, match="columns"):
+            dataset.append([(bad, np.zeros(4))], executor="serial")
+
+    def test_stage_shard_publishes_on_manifest_swap(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        dense = dataset.decode(0).to_dense()
+        payload = get_scheme("DEN").compress(dense).to_bytes()
+        info = dataset.stage_shard(0, payload, "DEN")
+        assert info.nbytes == len(payload)
+        assert info.filename == "shard-00000.g1.bin"
+
+        # Crash window: the staged file exists but the manifest was not yet
+        # swapped — readers still decode the OLD file with the OLD scheme.
+        crashed = ShardedDataset.open(tmp_path)
+        assert crashed.shards[0].scheme == "TOC"
+        np.testing.assert_allclose(crashed.decode(0).to_dense(), dense)
+
+        dataset.rewrite_manifest()
+        reopened = ShardedDataset.open(tmp_path)
+        assert reopened.shards[0].scheme == "DEN"
+        assert reopened.shards[0].filename == "shard-00000.g1.bin"
+        np.testing.assert_allclose(reopened.decode(0).to_dense(), dense)
+
+    def test_stage_shard_generation_counter_increments(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        dense = dataset.decode(0).to_dense()
+        dataset.stage_shard(0, get_scheme("DEN").compress(dense).to_bytes(), "DEN")
+        info = dataset.stage_shard(0, get_scheme("CSR").compress(dense).to_bytes(), "CSR")
+        assert info.filename == "shard-00000.g2.bin"

@@ -1,0 +1,87 @@
+"""Checkpoint format migration: v1 checkpoints keep loading under v2.
+
+Format v2 adds the ``"api"`` block written by ``Estimator.save``.  v1
+checkpoints (written before the facade existed) must rebuild the same model
+with an empty block, because registries outlive the code that wrote them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.models import LogisticRegressionModel
+from repro.serve.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_NAME,
+    ModelRegistry,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+@pytest.fixture()
+def model():
+    model = LogisticRegressionModel(6, seed=0)
+    model.set_parameters(np.arange(7, dtype=np.float64))
+    return model
+
+
+def downgrade_to_v1(directory) -> None:
+    manifest = json.loads((directory / CHECKPOINT_NAME).read_text())
+    manifest["format_version"] = 1
+    manifest.pop("api", None)
+    (directory / CHECKPOINT_NAME).write_text(json.dumps(manifest))
+
+
+def test_v2_is_the_current_format(tmp_path, model):
+    save_checkpoint(model, tmp_path, api_meta={"estimator": {"model": "logreg"}})
+    manifest = json.loads((tmp_path / CHECKPOINT_NAME).read_text())
+    assert CHECKPOINT_FORMAT_VERSION == 2
+    assert manifest["format_version"] == 2
+    assert manifest["api"] == {"estimator": {"model": "logreg"}}
+
+    checkpoint = load_checkpoint(tmp_path)
+    assert checkpoint.format_version == 2
+    assert checkpoint.api_meta["estimator"]["model"] == "logreg"
+
+
+def test_v1_checkpoint_still_loads(tmp_path, model):
+    save_checkpoint(model, tmp_path, scheme_name="TOC", dataset_meta={"n_examples": 9})
+    downgrade_to_v1(tmp_path)
+
+    checkpoint = load_checkpoint(tmp_path)
+    assert checkpoint.format_version == 1
+    assert checkpoint.api_meta == {}  # the block simply did not exist yet
+    assert checkpoint.scheme_name == "TOC"
+    assert checkpoint.dataset_meta == {"n_examples": 9}
+    np.testing.assert_array_equal(
+        checkpoint.model.get_parameters(), model.get_parameters()
+    )
+
+
+def test_v1_checkpoint_loads_through_registry_and_estimator(tmp_path, model):
+    registry = ModelRegistry(tmp_path)
+    version = registry.save(model, scheme_name="TOC")
+    downgrade_to_v1(registry.path_for(version))
+
+    from repro.api import Estimator
+
+    estimator = Estimator.load(tmp_path)
+    assert estimator.checkpoint.format_version == 1
+    np.testing.assert_array_equal(
+        estimator.model.get_parameters(), model.get_parameters()
+    )
+    # v1 predates the api block: the estimator falls back to defaults.
+    assert estimator.scheme == "auto"
+
+
+def test_unknown_format_rejected(tmp_path, model):
+    save_checkpoint(model, tmp_path)
+    manifest = json.loads((tmp_path / CHECKPOINT_NAME).read_text())
+    manifest["format_version"] = 99
+    (tmp_path / CHECKPOINT_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ValueError, match="unsupported checkpoint format"):
+        load_checkpoint(tmp_path)

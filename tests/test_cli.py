@@ -57,6 +57,104 @@ class TestParser:
         assert args.dataset == "census"
         assert args.rows == 250
 
+    def test_encode_defaults_to_auto_scheme(self):
+        args = build_parser().parse_args(["encode", "--shard-dir", "x"])
+        assert args.scheme == "auto"
+
+    def test_train_ooc_defaults_to_toc(self):
+        args = build_parser().parse_args(["train-ooc"])
+        assert args.scheme == "TOC"
+
+
+class TestEncodeStatsCompactCommands:
+    def test_round_trip_encode_stats_compact_train_predict(self, capsys, tmp_path):
+        """The facade lifecycle end to end on one tmpdir.
+
+        encode (deliberately mis-scheming sparse data as DEN) → stats →
+        compact (drift repair: the advisor re-encodes every shard) →
+        train-ooc over the *existing* compacted shards → predict.
+        """
+        import json
+
+        shard_dir, registry_dir = tmp_path / "shards", tmp_path / "registry"
+        assert main(
+            [
+                "encode",
+                "--dataset", "census",
+                "--rows", "300",
+                "--batch-size", "75",
+                "--scheme", "DEN",
+                "--executor", "serial",
+                "--shard-dir", str(shard_dir),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "DENx4" in out
+
+        assert main(["stats", "--shard-dir", str(shard_dir)]) == 0
+        assert "DENx4" in capsys.readouterr().out
+
+        assert main(["compact", "--shard-dir", str(shard_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4 of 4 shards re-encoded" in out
+        manifest = json.loads((shard_dir / "manifest.json").read_text())
+        assert manifest["format_version"] == 2
+        assert all(row["scheme"] != "DEN" for row in manifest["shards"])
+
+        # Second compact: idempotent no-op.
+        assert main(["compact", "--shard-dir", str(shard_dir)]) == 0
+        assert "0 of 4 shards re-encoded" in capsys.readouterr().out
+
+        # train-ooc reuses the compacted directory instead of re-sharding.
+        assert main(
+            [
+                "train-ooc",
+                "--epochs", "2",
+                "--shard-dir", str(shard_dir),
+                "--checkpoint-dir", str(registry_dir),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "training over the existing 4 shards" in out
+        assert "checkpoint: published v00001" in out
+
+        assert main(["predict", "--checkpoint-dir", str(registry_dir), "--ids", "0,299"]) == 0
+        assert "agreement with stored labels" in capsys.readouterr().out
+
+    def test_encode_unknown_dataset_fails_cleanly(self, capsys, tmp_path):
+        assert main(["encode", "--dataset", "criteo", "--shard-dir", str(tmp_path)]) == 2
+        assert "unknown dataset" in capsys.readouterr().out
+
+    def test_encode_unknown_scheme_fails_cleanly(self, capsys, tmp_path):
+        assert main(
+            ["encode", "--scheme", "LZ77", "--rows", "100", "--shard-dir", str(tmp_path)]
+        ) == 2
+        assert "encode failed" in capsys.readouterr().out
+
+    def test_stats_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        assert main(["stats", "--shard-dir", str(tmp_path / "none")]) == 2
+        assert "no shard manifest" in capsys.readouterr().out
+
+    def test_compact_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        assert main(["compact", "--shard-dir", str(tmp_path / "none")]) == 2
+        assert "no shard manifest" in capsys.readouterr().out
+
+    def test_compact_no_readvise_rewrites_manifest_only(self, capsys, tmp_path):
+        assert main(
+            [
+                "encode",
+                "--dataset", "census",
+                "--rows", "150",
+                "--batch-size", "75",
+                "--scheme", "DEN",
+                "--executor", "serial",
+                "--shard-dir", str(tmp_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["compact", "--shard-dir", str(tmp_path), "--no-readvise"]) == 0
+        assert "manifest rewritten" in capsys.readouterr().out
+
 
 class TestTrainOOCCommand:
     def test_trains_out_of_core_and_reports_spill(self, capsys, tmp_path):
