@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro <command>``.
 
 The CLI is a thin shell over the :mod:`repro.api` facade — every command is
-a few facade calls plus printing.  Nine commands are provided:
+a few facade calls plus printing.  Eleven commands are provided:
 
 * ``info`` — package version, registered schemes, dataset profiles;
 * ``advise`` — run the scheme advisor on a sample mini-batch drawn from a
@@ -13,6 +13,11 @@ a few facade calls plus printing.  Nine commands are provided:
   the per-shard scheme mix (``Dataset.stats``);
 * ``compact`` — re-advise every shard and re-encode the drifted ones
   (``Dataset.compact``), the maintenance pass for long-lived datasets;
+* ``scan`` — run a predicate / aggregate query over a shard directory
+  (``Dataset.scan``), pushed down onto the compressed shards where the
+  scheme allows it;
+* ``fsck`` — sweep a shard directory for leftovers of interrupted rewrites
+  (``Dataset.fsck``): staged generations and temporaries nothing references;
 * ``train-ooc`` — train out-of-core (``Estimator.fit``): over an existing
   shard directory when ``--shard-dir`` already holds a manifest, otherwise
   sharding a generated dataset first; ``--checkpoint-dir`` publishes the
@@ -169,6 +174,83 @@ def _cmd_compact(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    if not Dataset.exists(args.shard_dir):
+        print(f"no shard manifest under {args.shard_dir}")
+        return 2
+    dataset = Dataset.open(args.shard_dir)
+    columns = None
+    if args.columns is not None:
+        try:
+            columns = [
+                int(part.strip().lstrip("cC"))
+                for part in args.columns.split(",")
+                if part.strip()
+            ]
+        except ValueError:
+            print(f"--columns must be comma-separated column indexes, got {args.columns!r}")
+            return 2
+    try:
+        result = dataset.scan(
+            columns=columns,
+            where=args.where,
+            agg=args.agg,
+            limit=args.limit,
+            pushdown=not args.no_pushdown,
+        )
+    except (ValueError, IndexError) as exc:
+        print(f"scan failed: {exc}")
+        return 2
+    if result.is_aggregate:
+        for key, value in result.aggregates.items():
+            rendered = "null" if value is None else f"{value:g}"
+            print(f"{key:<12} {rendered}")
+    else:
+        shown = result.rows if args.max_print is None else result.rows[: args.max_print]
+        header = (
+            [f"c{c}" for c in columns]
+            if columns is not None
+            else [f"c{c}" for c in range(result.rows.shape[1])]
+        )
+        print(f"{'row':>8} " + " ".join(f"{name:>10}" for name in header))
+        for row_id, row in zip(result.row_ids, shown):
+            print(f"{row_id:>8} " + " ".join(f"{value:>10.4g}" for value in row))
+        if shown.shape[0] < result.rows.shape[0]:
+            print(f"... ({result.rows.shape[0] - shown.shape[0]} more rows not printed)")
+    print(
+        f"\nscanned {result.n_rows_scanned} rows in {result.shards_scanned} shards "
+        f"({_scheme_mix(result.schemes)}): {result.n_rows_matched} matched "
+        f"({result.selectivity:.1%}); push-down on {result.pushdown_shards} shards, "
+        f"dense fallback on {result.fallback_shards}"
+    )
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    if not Dataset.exists(args.shard_dir):
+        print(f"no shard manifest under {args.shard_dir}")
+        return 2
+    dataset = Dataset.open(args.shard_dir)
+    report = dataset.fsck(remove=not args.dry_run)
+    for name in report.orphans:
+        action = "would remove" if args.dry_run else "removed"
+        print(f"{action}: {name}")
+    for name in report.missing:
+        print(f"MISSING (referenced by the manifest, not on disk): {name}")
+    if report.clean:
+        print(f"{dataset.path}: clean ({report.examined} unreferenced entries examined)")
+    else:
+        print(
+            f"{dataset.path}: {len(report.orphans)} orphans "
+            f"({report.bytes_reclaimable} bytes"
+            + (" reclaimable), dry run — nothing deleted"
+               if args.dry_run else " reclaimed)")
+            + (f", {len(report.missing)} referenced files MISSING" if report.missing else "")
+        )
+    # Missing referenced files mean real data loss — nonzero exit for scripts.
+    return 1 if report.missing else 0
 
 
 def _cmd_train_ooc(args: argparse.Namespace) -> int:
@@ -435,6 +517,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-rows", type=int, default=100, help="rows the advisor samples per shard"
     )
     compact.set_defaults(func=_cmd_compact)
+
+    scan = subparsers.add_parser(
+        "scan", help="query a shard directory with predicate push-down"
+    )
+    scan.add_argument("--shard-dir", required=True, help="shard directory to query")
+    scan.add_argument(
+        "--where",
+        default=None,
+        help="predicate, e.g. 'c0 >= 0.5 and (c2 == 1 or not c3 < 2)' (default: all rows)",
+    )
+    scan.add_argument(
+        "--columns", default=None, help="comma-separated columns to project, e.g. 'c0,c3' or '0,3'"
+    )
+    scan.add_argument(
+        "--agg",
+        default=None,
+        help="aggregates instead of rows: 'count' or '<op>:<col>', comma-joined "
+        "(ops: count, sum, min, max, mean), e.g. 'count,mean:c2'",
+    )
+    scan.add_argument("--limit", type=int, default=None, help="stop after this many matches")
+    scan.add_argument(
+        "--no-pushdown",
+        action="store_true",
+        help="force the dense fallback on every shard (for verification / timing)",
+    )
+    scan.add_argument(
+        "--max-print", type=int, default=20, help="cap on printed rows (matches beyond still count)"
+    )
+    scan.set_defaults(func=_cmd_scan)
+
+    fsck = subparsers.add_parser(
+        "fsck", help="sweep a shard directory for orphaned temporaries and stale generations"
+    )
+    fsck.add_argument("--shard-dir", required=True, help="shard directory to check")
+    fsck.add_argument(
+        "--dry-run", action="store_true", help="report orphans without deleting them"
+    )
+    fsck.set_defaults(func=_cmd_fsck)
 
     train_ooc = subparsers.add_parser(
         "train-ooc",

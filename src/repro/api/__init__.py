@@ -4,8 +4,11 @@ Four ideas cover everything a user does with the library:
 
 * :class:`Dataset` — a compressed shard directory's full lifecycle:
   ``create`` (parallel encode, per-shard advisor with ``scheme="auto"``),
-  ``open``, ``append``, ``stats`` (per-shard scheme mix), and ``compact``
-  (re-advise on drift, re-encode only the shards whose winner changed);
+  ``open``, ``append``, ``stats`` (per-shard scheme mix), ``compact``
+  (re-advise on drift, re-encode only the shards whose winner changed),
+  ``scan`` (predicate / aggregate queries pushed down onto the compressed
+  shards), ``take`` / ``__getitem__`` (random row access), and ``fsck``
+  (sweep leftovers of interrupted rewrites);
 * :class:`Estimator` — scikit-style ``fit``/``partial_fit``/``predict``
   over ndarray, SciPy sparse, or :class:`Dataset` input, routing in-memory
   vs out-of-core automatically, with ``save``/``load`` through the
@@ -28,22 +31,35 @@ from repro.compression import available_schemes, get_scheme
 from repro.core import TOCMatrix
 from repro.core.advisor import recommend_scheme
 from repro.data import DATASET_PROFILES, generate_dataset
-from repro.engine.compact import CompactReport, ShardChange
+from repro.engine.compact import CompactReport, FsckReport, ShardChange
+from repro.exec import (
+    Aggregate,
+    Compare,
+    Predicate,
+    ScanResult,
+    parse_aggregates,
+    parse_predicate,
+)
 from repro.ml.metrics import accuracy, error_rate
 from repro.serve.checkpoint import Checkpoint, ModelRegistry
 from repro.serve.service import PredictionService
 
 __all__ = [
+    "Aggregate",
     "Checkpoint",
     "CompactReport",
+    "Compare",
     "DATASET_PROFILES",
     "Dataset",
     "DatasetStats",
     "Estimator",
     "FitReport",
+    "FsckReport",
     "MODEL_ALIASES",
     "ModelRegistry",
+    "Predicate",
     "PredictionService",
+    "ScanResult",
     "ShardChange",
     "TOCMatrix",
     "__version__",
@@ -53,5 +69,7 @@ __all__ = [
     "generate_dataset",
     "get_scheme",
     "open_service",
+    "parse_aggregates",
+    "parse_predicate",
     "recommend_scheme",
 ]

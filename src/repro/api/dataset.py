@@ -11,7 +11,12 @@ dataset lifecycle the paper's workloads need:
 * :meth:`Dataset.stats` — sizes, compression ratio, and the per-shard
   scheme mix (what benchmark provenance and the ``stats`` CLI print);
 * :meth:`Dataset.compact` — re-advise every shard and re-encode only the
-  drifted ones, atomically rewriting the v2 manifest.
+  drifted ones, atomically rewriting the v2 manifest;
+* :meth:`Dataset.scan` — predicate push-down selections and aggregations
+  answered on the compressed shards (:mod:`repro.exec.scan`);
+* :meth:`Dataset.take` / ``dataset[rows]`` — ad-hoc row reads through the
+  per-scheme ``row_slice`` kernel;
+* :meth:`Dataset.fsck` — sweep leftovers of interrupted compactions.
 
 Everything downstream (training, serving, benchmarks) takes a ``Dataset``;
 the underlying :class:`~repro.engine.shards.ShardedDataset` stays reachable
@@ -27,9 +32,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.data.minibatch import split_minibatches
-from repro.engine.compact import CompactReport, compact_dataset
+from repro.engine.compact import CompactReport, FsckReport, compact_dataset, fsck_dataset
 from repro.engine.encode import AUTO_SAMPLE_ROWS, AUTO_SCHEME
 from repro.engine.shards import MANIFEST_NAME, ShardedDataset, ShardInfo
+from repro.exec import row_slice
+from repro.exec.scan import ScanResult, scan_shards
+from repro.storage.buffer_pool import BufferPool
 
 #: Default mini-batch row count (matches the training default).
 DEFAULT_BATCH_SIZE = 250
@@ -174,6 +182,111 @@ class Dataset:
         return compact_dataset(
             self._sharded, readvise=readvise, sample_rows=sample_rows
         )
+
+    def fsck(self, *, remove: bool = True) -> FsckReport:
+        """Sweep leftovers of interrupted compactions (and report corruption).
+
+        A crash between shard staging and the manifest swap leaves staged
+        ``shard-*.gN.bin`` generations and dot-prefixed temporaries nothing
+        references; fsck deletes exactly those (``remove=False`` only
+        reports them) and lists — without touching — any manifest-referenced
+        shard file that is missing on disk.
+        """
+        return fsck_dataset(self._sharded, remove=remove)
+
+    # -- queries ---------------------------------------------------------------
+
+    def scan(
+        self,
+        *,
+        columns: Sequence[int] | None = None,
+        where=None,
+        agg=None,
+        limit: int | None = None,
+        pushdown: bool = True,
+        budget_bytes: int | None = None,
+    ) -> ScanResult:
+        """Select rows or compute aggregates, pushed down into the shards.
+
+        ``where`` is a :class:`~repro.exec.predicates.Predicate` or its
+        textual form (``"c0 >= 0.5 and c2 == 1"``); ``agg`` is one or more
+        aggregate specs (``"count"``, ``"sum:c3"``, ``["min:c0", "max:c0"]``)
+        and is exclusive with ``columns``.  Value-indexed shards (CVI/DVI)
+        answer comparisons by probing their value dictionaries and
+        aggregates from code frequencies; TOC shards extract only the
+        touched columns with the compressed right multiplication; every
+        other scheme decodes once and masks densely — results are identical
+        either way (``pushdown=False`` forces the dense path, which is what
+        the benchmark gate compares against).
+
+        Shards stream through a byte-budgeted
+        :class:`~repro.storage.buffer_pool.BufferPool` (``budget_bytes``
+        defaults to the full payload) and a selection with ``limit`` stops
+        reading as soon as enough rows matched.
+        """
+        sharded = self._sharded
+        pool = BufferPool(
+            budget_bytes=budget_bytes or max(1, sharded.total_payload_bytes())
+        )
+        sharded.attach(pool)
+
+        def stream():
+            offset = 0
+            for shard in sharded.shards:
+                yield sharded.decode(shard.batch_id, pool.read(shard.batch_id)), offset
+                offset += shard.n_rows
+
+        return scan_shards(
+            stream(),
+            columns=columns,
+            where=where,
+            agg=agg,
+            limit=limit,
+            pushdown=pushdown,
+        )
+
+    def take(self, rows) -> np.ndarray:
+        """Ad-hoc row reads: dense copies of the requested global rows.
+
+        Row ids address the *stored* order — the same ids ``predict_id``
+        and the feature store use — which differs from the input order when
+        the dataset was created with ``shuffle=True``.
+
+        Accepts any iterable of global row ids (duplicates allowed, request
+        order preserved).  Each touched shard is decoded once and sliced
+        with the per-scheme :func:`repro.exec.row_slice` kernel — notebooks
+        no longer need to reach into ``FeatureStore`` internals for a quick
+        look at the data.
+        """
+        ids = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows)
+        ids = ids.astype(np.intp).ravel()
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n_examples):
+            raise IndexError(f"row id out of range [0, {self.n_examples})")
+        out = np.empty((ids.size, self.n_cols), dtype=np.float64)
+        if not ids.size:
+            return out
+        # Group positions by shard so each compressed payload is decoded once.
+        offsets = np.cumsum([0] + [s.n_rows for s in self._sharded.shards])
+        shard_of = np.searchsorted(offsets, ids, side="right") - 1
+        for shard_index in np.unique(shard_of):
+            positions = np.flatnonzero(shard_of == shard_index)
+            shard = self._sharded.shards[int(shard_index)]
+            local = ids[positions] - offsets[shard_index]
+            matrix = self._sharded.decode(shard.batch_id)
+            out[positions] = row_slice(matrix, local)
+        return out
+
+    def __getitem__(self, key) -> np.ndarray:
+        """Sugar over :meth:`take`: ``dataset[7]``, ``dataset[10:20]``,
+        ``dataset[[3, 1, 4]]``."""
+        if isinstance(key, (int, np.integer)):
+            index = int(key)
+            if index < 0:
+                index += self.n_examples
+            return self.take([index])[0]
+        if isinstance(key, slice):
+            return self.take(range(*key.indices(self.n_examples)))
+        return self.take(key)
 
     # -- inspection ------------------------------------------------------------
 

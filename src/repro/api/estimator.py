@@ -38,6 +38,7 @@ from repro.ml.models import (
     LinearSVMModel,
     LogisticRegressionModel,
 )
+from repro.ml.multiclass import OVR_BASE_MODELS, OneVsRestModel
 from repro.ml.optimizer import (
     GradientDescentConfig,
     MiniBatchGradientDescent,
@@ -55,6 +56,9 @@ MODEL_ALIASES = {
     "ffnn": FeedForwardNetwork,
     "neural_network": FeedForwardNetwork,
 }
+
+#: Prefix for one-vs-rest multi-class specs: ``"ovr:<binary classifier>"``.
+OVR_PREFIX = "ovr:"
 
 
 @dataclass
@@ -85,8 +89,10 @@ class Estimator:
     ----------
     model:
         A spec string (``"logreg"``, ``"svm"``, ``"linreg"``, ``"ffnn"`` or
-        their long names) or an already-built model instance.  Spec-built
-        models are (re)created on ``fit`` once the feature width is known.
+        their long names, or ``"ovr:<base>"`` for one-vs-rest multi-class
+        over a binary classifier, e.g. ``"ovr:logreg"`` with ``n_classes``)
+        or an already-built model instance.  Spec-built models are
+        (re)created on ``fit`` once the feature width is known.
     scheme:
         Compression for training batches and on-disk shards: a registered
         scheme name, ``"auto"`` (default — the advisor picks per batch), or
@@ -121,12 +127,24 @@ class Estimator:
         workers: int | None = None,
         executor: str = "auto",
     ):
+        self._ovr_base: str | None = None
         if isinstance(model, str):
-            if model not in MODEL_ALIASES:
+            if model.startswith(OVR_PREFIX):
+                base = model[len(OVR_PREFIX):].strip()
+                if base not in OVR_BASE_MODELS:
+                    raise ValueError(
+                        f"unknown one-vs-rest base {base!r}; "
+                        f"known: {sorted(OVR_BASE_MODELS)} (spec: 'ovr:<base>')"
+                    )
+                self._model_cls = OneVsRestModel
+                self._ovr_base = OVR_BASE_MODELS[base].name
+            elif model in MODEL_ALIASES:
+                self._model_cls = MODEL_ALIASES[model]
+            else:
                 raise ValueError(
-                    f"unknown model {model!r}; known: {sorted(MODEL_ALIASES)}"
+                    f"unknown model {model!r}; known: {sorted(MODEL_ALIASES)} "
+                    f"or 'ovr:<base>' for one-vs-rest multi-class"
                 )
-            self._model_cls = MODEL_ALIASES[model]
             self.model = None
             # Spec-built models belong to the estimator: fit() re-initialises
             # them.  Caller-supplied instances are trained in place.
@@ -135,6 +153,8 @@ class Estimator:
             self._model_cls = type(model)
             self.model = model
             self._owns_model = False
+            if isinstance(model, OneVsRestModel):
+                self._ovr_base = model.base
         if scheme is not None and scheme != AUTO_SCHEME:
             try:
                 get_scheme(scheme)
@@ -165,8 +185,12 @@ class Estimator:
 
     def get_params(self) -> dict:
         """Constructor kwargs, JSON-ready (stored in the checkpoint ``api`` block)."""
+        if self._model_cls is OneVsRestModel and self._ovr_base:
+            model_spec = f"{OVR_PREFIX}{self._ovr_base}"
+        else:
+            model_spec = getattr(self._model_cls, "name", self._model_cls.__name__)
         return {
-            "model": getattr(self._model_cls, "name", self._model_cls.__name__),
+            "model": model_spec,
             "scheme": self.scheme,
             "batch_size": self.batch_size,
             "epochs": self.epochs,
@@ -199,6 +223,9 @@ class Estimator:
             kwargs["l2"] = self.l2
         if self._model_cls is FeedForwardNetwork:
             kwargs["hidden_sizes"] = self.hidden_sizes
+            kwargs["n_classes"] = self.n_classes
+        elif self._model_cls is OneVsRestModel:
+            kwargs["base"] = self._ovr_base or "logistic_regression"
             kwargs["n_classes"] = self.n_classes
         return self._model_cls(n_features, **kwargs)
 

@@ -45,6 +45,21 @@ class CVIMatrix(CompressedMatrix):
     def nnz(self) -> int:
         return int(self._indices.size)
 
+    @property
+    def value_index(self) -> ValueIndex:
+        """The dictionary-encoded data array (what scans probe directly)."""
+        return self._values
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row offsets into the stored entries."""
+        return self._indptr
+
+    @property
+    def col_indices(self) -> np.ndarray:
+        """Column index of every stored entry."""
+        return self._indices
+
     def _to_scipy(self) -> sp.csr_matrix:
         data = self._values.decode()
         return sp.csr_matrix((data, self._indices, self._indptr), shape=self.shape)
@@ -88,6 +103,26 @@ class CVIMatrix(CompressedMatrix):
 
     def to_dense(self) -> np.ndarray:
         return np.asarray(self._to_scipy().todense(), dtype=np.float64)
+
+    def _row_slice_rows(self, index: np.ndarray) -> np.ndarray:
+        # Gather only the requested rows' stored entries through the
+        # dictionary — never the whole data array, never a selection matmul.
+        # One vectorised pass: the entry positions of row r are the range
+        # [indptr[r], indptr[r+1]); concatenating those ranges for every
+        # requested row gives a flat position array to scatter from.
+        out = np.zeros((index.size, self.n_cols), dtype=np.float64)
+        starts = self._indptr[index]
+        counts = self._indptr[index + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return out
+        out_rows = np.repeat(np.arange(index.size), counts)
+        range_offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        positions = np.arange(total) - range_offsets[out_rows] + starts[out_rows]
+        out[out_rows, self._indices[positions]] = self._values.dictionary[
+            self._values.codes[positions]
+        ]
+        return out
 
     def to_bytes(self) -> bytes:
         header = np.array(

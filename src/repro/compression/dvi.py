@@ -39,6 +39,11 @@ class DVIMatrix(CompressedMatrix):
         """Number of distinct cell values (the dictionary size)."""
         return int(self._values.dictionary.size)
 
+    @property
+    def value_index(self) -> ValueIndex:
+        """The dictionary-encoded cell array (what scans probe directly)."""
+        return self._values
+
     def _codes_matrix(self) -> np.ndarray:
         return self._values.codes.reshape(self.shape)
 
@@ -71,6 +76,11 @@ class DVIMatrix(CompressedMatrix):
 
     def to_dense(self) -> np.ndarray:
         return self._values.decode().reshape(self.shape)
+
+    def _row_slice_rows(self, index: np.ndarray) -> np.ndarray:
+        # Decode only the requested rows' codes (the default would build a
+        # selection matrix and multiply through a full decode).
+        return self._values.dictionary[self._codes_matrix()[index]]
 
     def to_bytes(self) -> bytes:
         header = np.array(self.shape, dtype=_HEADER_DTYPE).tobytes()

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.compression.registry import get_scheme
 from repro.engine.encode import AUTO_SAMPLE_ROWS, advise_scheme
-from repro.engine.shards import ShardedDataset
+from repro.engine.shards import LABELS_NAME, MANIFEST_NAME, ShardedDataset, shard_filename_stem
 from repro.exec import row_slice, supports_direct_ops
 
 
@@ -154,3 +154,71 @@ def compact_dataset(
     report.payload_bytes_after = dataset.total_payload_bytes()
     report.seconds = time.perf_counter() - start
     return report
+
+
+# -- fsck: sweeping interrupted passes -----------------------------------------
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """What one :func:`fsck_dataset` sweep found (and possibly removed)."""
+
+    #: Directory entries examined.
+    examined: int
+    #: Unreferenced shard-generation / temporary files found.
+    orphans: tuple[str, ...]
+    #: The subset of ``orphans`` actually deleted (empty on a dry run).
+    removed: tuple[str, ...]
+    #: Manifest-referenced shard files that are *missing* on disk.  These are
+    #: real corruption — fsck reports them but never tries to repair.
+    missing: tuple[str, ...]
+    bytes_reclaimable: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.orphans and not self.missing
+
+
+def fsck_dataset(dataset: ShardedDataset, *, remove: bool = True) -> FsckReport:
+    """Sweep a shard directory for leftovers of interrupted rewrites.
+
+    A crash between :meth:`~repro.engine.shards.ShardedDataset.stage_shard`
+    and the manifest swap (or during an atomic manifest / label rewrite)
+    leaves files nothing references: staged ``shard-*.gN.bin`` generations
+    and dot-prefixed temporaries.  Those are safe to delete — the manifest
+    is the single source of truth — and this pass deletes exactly them,
+    never a file the manifest still points at and never a file it does not
+    recognise.  Missing referenced shard files are reported, not repaired.
+    """
+    referenced = {shard.filename for shard in dataset.shards}
+    temporary_prefixes = (f".{MANIFEST_NAME}.tmp", f".{LABELS_NAME}.tmp")
+    orphans: list[str] = []
+    reclaimable = 0
+    examined = 0
+    for entry in sorted(dataset.directory.iterdir()):
+        name = entry.name
+        if not entry.is_file() or name in referenced or name in (MANIFEST_NAME, LABELS_NAME):
+            continue
+        examined += 1
+        is_temporary = name.startswith(temporary_prefixes)
+        is_stale_generation = shard_filename_stem(name) is not None
+        if is_temporary or is_stale_generation:
+            orphans.append(name)
+            reclaimable += entry.stat().st_size
+    removed: list[str] = []
+    if remove:
+        for name in orphans:
+            (dataset.directory / name).unlink(missing_ok=True)
+            removed.append(name)
+    missing = sorted(
+        filename
+        for filename in referenced
+        if not (dataset.directory / filename).exists()
+    )
+    return FsckReport(
+        examined=examined,
+        orphans=tuple(orphans),
+        removed=tuple(removed),
+        missing=tuple(missing),
+        bytes_reclaimable=reclaimable,
+    )

@@ -66,6 +66,16 @@ MIXED_SCHEME = "mixed"
 _SHARD_FILENAME_RE = re.compile(r"^(?P<stem>.+?)(?:\.g(?P<gen>\d+))?\.bin$")
 
 
+def shard_filename_stem(name: str) -> str | None:
+    """The generation-free stem of a shard filename, or ``None`` for other files.
+
+    ``shard-00005.bin`` and ``shard-00005.g2.bin`` both map to
+    ``shard-00005`` — what fsck uses to recognise stale staged generations.
+    """
+    match = _SHARD_FILENAME_RE.match(name)
+    return match.group("stem") if match else None
+
+
 @dataclass(frozen=True)
 class ShardInfo:
     """Manifest row describing one shard file."""
@@ -408,4 +418,5 @@ __all__ = [
     "MIXED_SCHEME",
     "ShardInfo",
     "ShardedDataset",
+    "shard_filename_stem",
 ]

@@ -14,6 +14,13 @@ the dispatcher picks the implementation.  That single choke point is what
 lets per-shard heterogeneous compression (``scheme="auto"``) flow through
 training and serving untouched: a TOC shard and a DEN shard of the same
 dataset execute through the same seven entry points.
+
+On top of the kernels sits the query layer: :mod:`repro.exec.predicates`
+(predicate / aggregate expression objects and their textual parsers) and
+:mod:`repro.exec.scan` (predicate push-down scans answered on the
+compressed form where the scheme allows it, with a dense fallback
+everywhere else).  :meth:`repro.api.Dataset.scan` and the CLI ``scan``
+subcommand are thin shells over :func:`scan_shards`.
 """
 
 from repro.exec.dispatch import (
@@ -29,17 +36,49 @@ from repro.exec.dispatch import (
     supports_direct_ops,
     to_dense,
 )
+from repro.exec.predicates import (
+    Aggregate,
+    And,
+    Compare,
+    Not,
+    Or,
+    Predicate,
+    parse_aggregates,
+    parse_predicate,
+)
+from repro.exec.scan import (
+    ScanReader,
+    ScanResult,
+    register_scan_reader,
+    scan_matrix,
+    scan_reader_for,
+    scan_shards,
+)
 
 __all__ = [
+    "Aggregate",
+    "And",
+    "Compare",
     "KernelSet",
+    "Not",
+    "Or",
+    "Predicate",
+    "ScanReader",
+    "ScanResult",
     "kernels_for",
     "matmat",
     "matvec",
+    "parse_aggregates",
+    "parse_predicate",
     "register_kernels",
+    "register_scan_reader",
     "rmatmat",
     "rmatvec",
     "row_slice",
     "scale",
+    "scan_matrix",
+    "scan_reader_for",
+    "scan_shards",
     "supports_direct_ops",
     "to_dense",
 ]

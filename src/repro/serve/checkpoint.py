@@ -33,6 +33,7 @@ from repro.ml.models import (
     LinearSVMModel,
     LogisticRegressionModel,
 )
+from repro.ml.multiclass import OneVsRestModel
 
 CHECKPOINT_NAME = "checkpoint.json"
 WEIGHTS_NAME = "weights.npz"
@@ -53,6 +54,7 @@ MODEL_CLASSES = {
         LogisticRegressionModel,
         LinearSVMModel,
         FeedForwardNetwork,
+        OneVsRestModel,
     )
 }
 
@@ -63,6 +65,13 @@ def _model_config(model) -> dict:
         return {
             "n_features": model.n_features,
             "hidden_sizes": [int(w.shape[1]) for w in model.weights[:-1]],
+            "n_classes": model.n_classes,
+            "l2": model.l2,
+        }
+    if isinstance(model, OneVsRestModel):
+        return {
+            "n_features": model.n_features,
+            "base": model.base,
             "n_classes": model.n_classes,
             "l2": model.l2,
         }

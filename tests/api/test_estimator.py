@@ -245,3 +245,60 @@ class TestPersistence:
         assert [w.shape for w in loaded.model.weights] == [
             w.shape for w in estimator.model.weights
         ]
+
+
+class TestMulticlassSpec:
+    """``"ovr:<base>"`` routes one-vs-rest through the facade end to end."""
+
+    def _data(self, k=3, n=240, d=8, seed=4):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(scale=2.0, size=(k, d))
+        labels = rng.integers(0, k, size=n)
+        features = centers[labels] + rng.normal(scale=0.4, size=(n, d))
+        return features, labels.astype(np.float64)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError, match="one-vs-rest base"):
+            Estimator("ovr:linreg")
+        with pytest.raises(ValueError, match="'ovr:<base>'"):
+            Estimator("ovrlogreg")
+
+    def test_in_memory_multiclass_fit_predict(self):
+        features, labels = self._data()
+        estimator = Estimator(
+            "ovr:logreg", n_classes=3, epochs=12, learning_rate=0.2, scheme=None
+        )
+        report = estimator.fit(features, labels)
+        assert report.backend == "in-memory"
+        assert (estimator.predict(features) == labels).mean() > 0.8
+        proba = estimator.predict_proba(features)
+        assert proba.shape == (features.shape[0], 3)
+
+    def test_out_of_core_multiclass(self, tmp_path):
+        features, labels = self._data()
+        dataset = Dataset.create(
+            tmp_path / "shards", features, labels, batch_size=60, executor="serial"
+        )
+        estimator = Estimator("ovr:svm", n_classes=3, epochs=12, learning_rate=0.1)
+        report = estimator.fit(dataset)
+        assert report.backend == "out-of-core"
+        assert (estimator.predict(dataset) == dataset.labels()).mean() > 0.8
+
+    def test_save_load_round_trips_spec(self, tmp_path):
+        features, labels = self._data()
+        estimator = Estimator(
+            "ovr:logreg", n_classes=3, epochs=8, learning_rate=0.2, scheme=None
+        )
+        estimator.fit(features, labels)
+        assert estimator.get_params()["model"] == "ovr:logistic_regression"
+        estimator.save(tmp_path / "registry")
+        loaded = Estimator.load(tmp_path / "registry")
+        assert loaded.get_params()["model"] == "ovr:logistic_regression"
+        assert loaded.n_classes == 3
+        np.testing.assert_array_equal(
+            loaded.predict(features), estimator.predict(features)
+        )
+        # fit() after load still means "from scratch" with the same spec.
+        refit = loaded.fit(features, labels)
+        assert refit.backend == "in-memory"
+        assert (loaded.predict(features) == labels).mean() > 0.8

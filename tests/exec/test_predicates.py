@@ -1,0 +1,158 @@
+"""Predicate / aggregate expression objects and their textual parsers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec.predicates import (
+    Aggregate,
+    And,
+    Compare,
+    Not,
+    Or,
+    parse_aggregate,
+    parse_aggregates,
+    parse_predicate,
+)
+
+
+class _DenseContext:
+    """Minimal evaluation context: compares against a plain ndarray."""
+
+    def __init__(self, dense: np.ndarray):
+        self.dense = dense
+
+    def compare(self, col, op, value):
+        from repro.exec.predicates import COMPARE_OPS
+
+        return COMPARE_OPS[op](self.dense[:, col], value)
+
+
+@pytest.fixture()
+def dense():
+    rng = np.random.default_rng(3)
+    return rng.choice([0.0, 1.0, 2.0, 3.5], size=(50, 5))
+
+
+class TestCompare:
+    def test_all_operators(self, dense):
+        context = _DenseContext(dense)
+        for op, fn in (
+            ("==", np.equal),
+            ("!=", np.not_equal),
+            ("<", np.less),
+            ("<=", np.less_equal),
+            (">", np.greater),
+            (">=", np.greater_equal),
+        ):
+            got = Compare(2, op, 1.0).evaluate(context)
+            np.testing.assert_array_equal(got, fn(dense[:, 2], 1.0))
+
+    def test_column_name_string_coerces(self):
+        assert Compare("c4", "==", 1.0).column == 4
+
+    def test_rejects_unknown_operator_and_negative_column(self):
+        with pytest.raises(ValueError, match="unknown comparison"):
+            Compare(0, "~=", 1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            Compare(-1, "==", 1.0)
+
+    def test_columns_reported(self):
+        predicate = (Compare(0, ">", 1.0) & Compare(3, "<", 2.0)) | ~Compare(1, "==", 0.0)
+        assert predicate.columns() == {0, 1, 3}
+
+
+class TestCombinators:
+    def test_sugar_builds_expected_tree(self):
+        predicate = Compare(0, ">", 1.0) & Compare(1, "<", 2.0)
+        assert isinstance(predicate, And)
+        predicate = Compare(0, ">", 1.0) | Compare(1, "<", 2.0)
+        assert isinstance(predicate, Or)
+        assert isinstance(~Compare(0, ">", 1.0), Not)
+
+    def test_and_or_need_two_children(self):
+        with pytest.raises(ValueError):
+            And([Compare(0, ">", 1.0)])
+        with pytest.raises(ValueError):
+            Or([Compare(0, ">", 1.0)])
+
+    def test_evaluation_matches_numpy(self, dense):
+        context = _DenseContext(dense)
+        predicate = (Compare(0, "==", 1.0) | Compare(1, ">", 2.0)) & ~Compare(2, "<", 1.0)
+        expected = ((dense[:, 0] == 1.0) | (dense[:, 1] > 2.0)) & ~(dense[:, 2] < 1.0)
+        np.testing.assert_array_equal(predicate.evaluate(context), expected)
+
+
+class TestParsePredicate:
+    def test_simple_comparison(self):
+        predicate = parse_predicate("c2 >= 0.5")
+        assert predicate == Compare(2, ">=", 0.5)
+
+    def test_precedence_or_loosest_not_tightest(self, dense):
+        context = _DenseContext(dense)
+        predicate = parse_predicate("c0 == 1 or c1 > 2 and not c2 < 1")
+        expected = (dense[:, 0] == 1.0) | ((dense[:, 1] > 2.0) & ~(dense[:, 2] < 1.0))
+        np.testing.assert_array_equal(predicate.evaluate(context), expected)
+
+    def test_parentheses_override(self, dense):
+        context = _DenseContext(dense)
+        predicate = parse_predicate("(c0 == 1 or c1 > 2) and c2 < 1")
+        expected = ((dense[:, 0] == 1.0) | (dense[:, 1] > 2.0)) & (dense[:, 2] < 1.0)
+        np.testing.assert_array_equal(predicate.evaluate(context), expected)
+
+    def test_symbol_aliases_and_case(self):
+        assert parse_predicate("c0 == 1 && !c1 > 2") == parse_predicate(
+            "C0 == 1 AND NOT C1 > 2"
+        )
+        assert parse_predicate("c0 == 1 || c1 > 2") == parse_predicate("c0 == 1 or c1 > 2")
+
+    def test_scientific_and_negative_literals(self):
+        assert parse_predicate("c0 > -1.5e-3") == Compare(0, ">", -1.5e-3)
+        assert parse_predicate("c0 <= .5") == Compare(0, "<=", 0.5)
+
+    def test_predicate_passthrough(self):
+        built = Compare(0, ">", 1.0)
+        assert parse_predicate(built) is built
+
+    @pytest.mark.parametrize(
+        "bad", ["", "c0 >", "c0 1.0", ">= 1", "c0 == 1 extra", "(c0 == 1", "x0 == 1"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_predicate(bad)
+
+    def test_str_round_trips(self, dense):
+        context = _DenseContext(dense)
+        predicate = parse_predicate("c0 == 1 or (c1 > 2 and not c2 < 1)")
+        reparsed = parse_predicate(str(predicate))
+        np.testing.assert_array_equal(
+            predicate.evaluate(context), reparsed.evaluate(context)
+        )
+
+
+class TestAggregates:
+    def test_parse_single_specs(self):
+        assert parse_aggregate("count") == Aggregate("count")
+        assert parse_aggregate("sum:c3") == Aggregate("sum", 3)
+        assert parse_aggregate("MEAN:2") == Aggregate("mean", 2)
+
+    def test_parse_clause_forms(self):
+        expected = [Aggregate("count"), Aggregate("min", 0), Aggregate("max", 1)]
+        assert parse_aggregates("count,min:c0,max:c1") == expected
+        assert parse_aggregates(["count", "min:c0", Aggregate("max", 1)]) == expected
+        assert parse_aggregates("count") == [Aggregate("count")]
+
+    def test_keys(self):
+        assert Aggregate("count").key == "count"
+        assert Aggregate("sum", 4).key == "sum(c4)"
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="needs a column"):
+            parse_aggregate("sum")
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            Aggregate("median", 0)
+        with pytest.raises(ValueError):
+            parse_aggregate("sum:cx")
+        with pytest.raises(ValueError, match="empty"):
+            parse_aggregates([])

@@ -1,0 +1,273 @@
+"""The scan executor vs the dense NumPy reference, across every scheme.
+
+The property this whole layer rides on: for any predicate, any projection,
+and any scheme, the scan's output is bit-identical to densifying first and
+masking with NumPy — push-down changes the execution strategy, never the
+answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.registry import available_schemes, get_scheme
+from repro.exec.predicates import COMPARE_OPS, Compare, parse_predicate
+from repro.exec.scan import (
+    ScanReader,
+    register_scan_reader,
+    scan_matrix,
+    scan_reader_for,
+    scan_shards,
+)
+
+ALL_SCHEMES = available_schemes()
+
+
+def quantised(rng, rows=60, cols=7, domain=(0.0, 0.5, 1.0, 2.5)):
+    return rng.choice(domain, size=(rows, cols), p=(0.5, 0.2, 0.2, 0.1))
+
+
+def random_predicate(rng, cols):
+    """A random expression tree over random leaves (depth <= 2)."""
+    ops = list(COMPARE_OPS)
+    values = (0.0, 0.5, 1.0, 2.5, 0.7)
+
+    def leaf():
+        return Compare(int(rng.integers(cols)), ops[rng.integers(len(ops))],
+                       values[rng.integers(len(values))])
+
+    predicate = leaf()
+    for _ in range(int(rng.integers(0, 3))):
+        other = leaf()
+        kind = rng.integers(3)
+        if kind == 0:
+            predicate = predicate & other
+        elif kind == 1:
+            predicate = predicate | other
+        else:
+            predicate = predicate & ~other
+    return predicate
+
+
+class _EvalDense:
+    def __init__(self, dense):
+        self.dense = dense
+
+    def compare(self, col, op, value):
+        return COMPARE_OPS[op](self.dense[:, col], value)
+
+
+class TestScanMatrixAllSchemes:
+    """Random predicates x every scheme x both strategies == dense NumPy."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_random_predicates_match_dense_reference(self, scheme):
+        rng = np.random.default_rng(hash(scheme) % 2**32)
+        for trial in range(8):
+            dense = quantised(rng)
+            matrix = get_scheme(scheme).compress(dense)
+            predicate = random_predicate(rng, dense.shape[1])
+            expected_mask = predicate.evaluate(_EvalDense(dense))
+            for pushdown in (True, False):
+                rows, row_ids, _ = scan_matrix(matrix, where=predicate, pushdown=pushdown)
+                np.testing.assert_array_equal(row_ids, np.flatnonzero(expected_mask))
+                np.testing.assert_array_equal(rows, dense[expected_mask])
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_projection_matches_dense_reference(self, scheme):
+        rng = np.random.default_rng(7)
+        dense = quantised(rng)
+        matrix = get_scheme(scheme).compress(dense)
+        rows, row_ids, _ = scan_matrix(matrix, columns=[5, 0], where="c1 >= 0.5")
+        mask = dense[:, 1] >= 0.5
+        np.testing.assert_array_equal(rows, dense[mask][:, [5, 0]])
+        np.testing.assert_array_equal(row_ids, np.flatnonzero(mask))
+
+    @pytest.mark.parametrize("scheme", ("CVI", "DVI"))
+    def test_value_indexed_schemes_push_down(self, scheme):
+        rng = np.random.default_rng(1)
+        matrix = get_scheme(scheme).compress(quantised(rng))
+        _, _, pushed = scan_matrix(matrix, where="c0 == 0.5")
+        assert pushed
+
+    @pytest.mark.parametrize("scheme", ("DEN", "CSR", "CLA", "Snappy", "Gzip"))
+    def test_other_schemes_fall_back(self, scheme):
+        rng = np.random.default_rng(1)
+        matrix = get_scheme(scheme).compress(quantised(rng))
+        _, _, pushed = scan_matrix(matrix, where="c0 == 0.5")
+        assert not pushed
+
+    def test_no_predicate_selects_everything(self):
+        rng = np.random.default_rng(2)
+        dense = quantised(rng)
+        matrix = get_scheme("DVI").compress(dense)
+        rows, row_ids, _ = scan_matrix(matrix)
+        np.testing.assert_array_equal(rows, dense)
+        np.testing.assert_array_equal(row_ids, np.arange(dense.shape[0]))
+
+    def test_column_out_of_range(self):
+        matrix = get_scheme("DEN").compress(np.zeros((4, 3)))
+        with pytest.raises(IndexError, match="column"):
+            scan_matrix(matrix, where="c9 == 1")
+
+
+class TestImplicitZeros:
+    """CVI's unstored cells must answer predicates exactly like stored 0.0."""
+
+    @pytest.mark.parametrize("op", sorted(COMPARE_OPS))
+    def test_cvi_zero_semantics_every_operator(self, op):
+        rng = np.random.default_rng(5)
+        dense = quantised(rng, rows=40)
+        dense[7] = 0.0  # one fully-implicit row
+        matrix = get_scheme("CVI").compress(dense)
+        for value in (0.0, 0.5, -1.0):
+            predicate = Compare(2, op, value)
+            expected = predicate.evaluate(_EvalDense(dense))
+            _, row_ids, pushed = scan_matrix(matrix, where=predicate)
+            assert pushed
+            np.testing.assert_array_equal(row_ids, np.flatnonzero(expected))
+
+
+class TestScanShards:
+    """Multi-shard streams: mixed schemes, limits, aggregates, empties."""
+
+    def _stream(self, dense, schemes, batch):
+        shards = []
+        for index, start in enumerate(range(0, dense.shape[0], batch)):
+            scheme = schemes[index % len(schemes)]
+            shards.append(
+                (get_scheme(scheme).compress(dense[start : start + batch]), start)
+            )
+        return shards
+
+    def test_mixed_scheme_manifest_matches_dense(self):
+        rng = np.random.default_rng(9)
+        dense = quantised(rng, rows=120)
+        shards = self._stream(dense, ALL_SCHEMES, batch=15)
+        for pushdown in (True, False):
+            result = scan_shards(iter(shards), where="c0 == 0.5 or c3 > 1", pushdown=pushdown)
+            mask = (dense[:, 0] == 0.5) | (dense[:, 3] > 1)
+            np.testing.assert_array_equal(result.rows, dense[mask])
+            np.testing.assert_array_equal(result.row_ids, np.flatnonzero(mask))
+            assert result.n_rows_scanned == 120
+            assert result.n_rows_matched == int(mask.sum())
+            assert result.shards_scanned == 8
+        assert set(result.schemes) <= set(ALL_SCHEMES)
+
+    def test_random_predicates_over_mixed_shards(self):
+        rng = np.random.default_rng(13)
+        for _ in range(6):
+            dense = quantised(rng, rows=90)
+            shards = self._stream(dense, ("DVI", "TOC", "CSR"), batch=30)
+            predicate = random_predicate(rng, dense.shape[1])
+            expected = predicate.evaluate(_EvalDense(dense))
+            result = scan_shards(iter(shards), where=predicate)
+            np.testing.assert_array_equal(result.rows, dense[expected])
+
+    def test_aggregates_match_numpy(self):
+        rng = np.random.default_rng(21)
+        dense = quantised(rng, rows=100)
+        shards = self._stream(dense, ("DVI", "CVI", "DEN", "TOC"), batch=25)
+        mask = dense[:, 1] >= 0.5
+        kept = dense[mask]
+        result = scan_shards(
+            iter(shards), where="c1 >= 0.5", agg="count,sum:c2,mean:c2,min:c0,max:c3"
+        )
+        assert result.is_aggregate
+        assert result.aggregates["count"] == int(mask.sum())
+        assert np.isclose(result.aggregates["sum(c2)"], kept[:, 2].sum())
+        assert np.isclose(result.aggregates["mean(c2)"], kept[:, 2].mean())
+        assert result.aggregates["min(c0)"] == kept[:, 0].min()
+        assert result.aggregates["max(c3)"] == kept[:, 3].max()
+
+    def test_aggregates_over_no_rows(self):
+        rng = np.random.default_rng(22)
+        shards = self._stream(quantised(rng, rows=40), ("CVI", "DVI"), batch=20)
+        result = scan_shards(iter(shards), where="c0 > 99", agg="count,mean:c1,min:c1")
+        assert result.aggregates["count"] == 0
+        assert result.aggregates["mean(c1)"] is None
+        assert result.aggregates["min(c1)"] is None
+
+    def test_limit_early_exit_skips_remaining_shards(self):
+        rng = np.random.default_rng(23)
+        dense = quantised(rng, rows=100)
+        shards = self._stream(dense, ("DVI",), batch=20)
+        consumed = []
+
+        def counting_stream():
+            for shard in shards:
+                consumed.append(shard[1])
+                yield shard
+
+        result = scan_shards(counting_stream(), limit=10)
+        assert result.rows.shape == (10, dense.shape[1])
+        assert result.n_rows_matched == 10
+        assert len(consumed) == 1  # one 20-row shard already filled the limit
+
+    def test_limit_zero_and_empty_match(self):
+        rng = np.random.default_rng(24)
+        dense = quantised(rng, rows=30)
+        shards = self._stream(dense, ("CVI",), batch=30)
+        zero = scan_shards(iter(shards), limit=0)
+        assert zero.rows.shape == (0, dense.shape[1])
+        empty = scan_shards(iter(shards), where="c0 > 99")
+        assert empty.rows.shape == (0, dense.shape[1])
+        assert empty.row_ids.size == 0
+        assert empty.selectivity == 0.0
+
+    def test_agg_excludes_columns_and_limit(self):
+        with pytest.raises(ValueError, match="not both"):
+            scan_shards(iter([]), columns=[0], agg="count")
+        with pytest.raises(ValueError, match="selections"):
+            scan_shards(iter([]), agg="count", limit=5)
+        with pytest.raises(ValueError, match="non-negative"):
+            scan_shards(iter([]), limit=-1)
+
+
+class TestReaderRegistry:
+    def test_resolution_per_scheme(self):
+        rng = np.random.default_rng(4)
+        dense = quantised(rng)
+        assert scan_reader_for(get_scheme("DVI").compress(dense)).name == "DVI-value-index"
+        assert scan_reader_for(get_scheme("CVI").compress(dense)).name == "CVI-value-index"
+        assert scan_reader_for(get_scheme("TOC").compress(dense)).name == "compressed-ops"
+        assert scan_reader_for(get_scheme("DEN").compress(dense)).name == "dense-fallback"
+        assert not scan_reader_for(get_scheme("DVI").compress(dense), pushdown=False).pushdown
+
+    def test_register_scan_reader_extends_fast_path(self):
+        class Tagged:
+            def __init__(self, dense):
+                self.dense = dense
+                self.shape = dense.shape
+
+            def to_dense(self):
+                return self.dense
+
+        class TaggedReader(ScanReader):
+            name = "tagged"
+
+            def column(self, matrix, col):
+                return matrix.dense[:, col]
+
+        from repro.exec.scan import _SCAN_READERS
+
+        register_scan_reader(lambda m: isinstance(m, Tagged), TaggedReader())
+        try:
+            rng = np.random.default_rng(6)
+            dense = quantised(rng)
+            reader = scan_reader_for(Tagged(dense))
+            assert reader.name == "tagged"
+            rows, row_ids, pushed = scan_matrix(Tagged(dense), where="c0 == 0.5")
+            assert pushed
+            np.testing.assert_array_equal(rows, dense[dense[:, 0] == 0.5])
+        finally:
+            _SCAN_READERS.pop()
+
+    def test_toc_aggregates_push_down_but_selections_do_not(self):
+        rng = np.random.default_rng(8)
+        matrix = get_scheme("TOC").compress(quantised(rng))
+        selection = scan_shards(iter([(matrix, 0)]), where="c0 == 0.5")
+        aggregate = scan_shards(iter([(matrix, 0)]), where="c0 == 0.5", agg="count")
+        assert selection.fallback_shards == 1  # probing columns would add work
+        assert aggregate.pushdown_shards == 1  # no materialisation: probing wins

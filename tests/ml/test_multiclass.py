@@ -73,3 +73,103 @@ class TestOneVsRest:
         batches = split_minibatches(features, labels, batch_size=80, seed=0)
         histories = clf.fit_batches(batches, GradientDescentConfig(epochs=1))
         assert len(histories) == 3
+
+
+class TestOneVsRestModel:
+    """The protocol-shaped OVR variant: trains, checkpoints, round-trips."""
+
+    def _data(self, k=3, n=240, d=8, seed=2):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(scale=2.0, size=(k, d))
+        labels = rng.integers(0, k, size=n)
+        features = centers[labels] + rng.normal(scale=0.4, size=(n, d))
+        return features, labels.astype(np.float64)
+
+    def test_unknown_base_rejected(self):
+        from repro.ml.multiclass import OneVsRestModel
+
+        with pytest.raises(ValueError, match="one-vs-rest base"):
+            OneVsRestModel(4, base="linreg", n_classes=3)
+        with pytest.raises(ValueError):
+            OneVsRestModel(4, base="logreg", n_classes=1)
+
+    @pytest.mark.parametrize("base", ["logreg", "svm", "logistic_regression"])
+    def test_optimizer_protocol_trains_beyond_chance(self, base):
+        from repro.ml.multiclass import OneVsRestModel
+        from repro.ml.optimizer import MiniBatchGradientDescent
+
+        features, labels = self._data()
+        model = OneVsRestModel(features.shape[1], base=base, n_classes=3)
+        batches = split_minibatches(features, labels, batch_size=60, seed=0)
+        config = GradientDescentConfig(batch_size=60, epochs=12, learning_rate=0.2)
+        history = MiniBatchGradientDescent(config).train(model, batches)
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+        assert accuracy(labels, model.predict(features)) > 0.8
+
+    def test_training_on_compressed_batches_matches_dense(self):
+        from repro.ml.multiclass import OneVsRestModel
+        from repro.ml.optimizer import MiniBatchGradientDescent
+
+        features, labels = self._data()
+        config = GradientDescentConfig(batch_size=60, epochs=3, learning_rate=0.2)
+        dense_model = OneVsRestModel(features.shape[1], n_classes=3, seed=1)
+        compressed_model = OneVsRestModel(features.shape[1], n_classes=3, seed=1)
+        dense_batches = split_minibatches(features, labels, batch_size=60, seed=0)
+        compressed_batches = [
+            (get_scheme("TOC").compress(m), t) for m, t in dense_batches
+        ]
+        MiniBatchGradientDescent(config).train(dense_model, dense_batches)
+        MiniBatchGradientDescent(config).train(compressed_model, compressed_batches)
+        np.testing.assert_allclose(
+            dense_model.get_parameters(), compressed_model.get_parameters(), atol=1e-9
+        )
+
+    def test_parameter_vector_round_trip(self):
+        from repro.ml.multiclass import OneVsRestModel
+
+        model = OneVsRestModel(6, n_classes=4, seed=3)
+        parameters = model.get_parameters()
+        assert parameters.size == 4 * (6 + 1)
+        clone = OneVsRestModel(6, n_classes=4, seed=9)
+        clone.set_parameters(parameters)
+        np.testing.assert_array_equal(clone.get_parameters(), parameters)
+        with pytest.raises(ValueError, match="wrong length"):
+            clone.set_parameters(parameters[:-1])
+
+    def test_predict_proba_normalised(self):
+        from repro.ml.multiclass import OneVsRestModel
+
+        features, _ = self._data()
+        model = OneVsRestModel(features.shape[1], n_classes=3)
+        proba = model.predict_proba(features)
+        assert proba.shape == (features.shape[0], 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        svm = OneVsRestModel(features.shape[1], base="svm", n_classes=3)
+        with pytest.raises(AttributeError):
+            svm.predict_proba(features)
+
+    def test_checkpoint_round_trip(self, tmp_path):
+        from repro.ml.multiclass import OneVsRestModel
+        from repro.serve.checkpoint import load_checkpoint, save_checkpoint
+
+        features, _ = self._data()
+        model = OneVsRestModel(features.shape[1], base="svm", n_classes=3, l2=1e-3)
+        save_checkpoint(model, tmp_path / "ckpt")
+        restored = load_checkpoint(tmp_path / "ckpt").model
+        assert isinstance(restored, OneVsRestModel)
+        assert restored.base == "svm"
+        assert restored.n_classes == 3
+        assert restored.l2 == pytest.approx(1e-3)
+        np.testing.assert_array_equal(
+            restored.get_parameters(), model.get_parameters()
+        )
+        np.testing.assert_array_equal(
+            restored.predict(features), model.predict(features)
+        )
+
+    def test_plain_classifier_still_not_checkpointable(self, tmp_path):
+        from repro.serve.checkpoint import save_checkpoint
+
+        plain = OneVsRestClassifier(lambda: LogisticRegressionModel(4), n_classes=3)
+        with pytest.raises(ValueError, match="cannot checkpoint"):
+            save_checkpoint(plain, tmp_path / "bad")

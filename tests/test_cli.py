@@ -295,3 +295,130 @@ class TestServeCommand:
     def test_missing_checkpoint_fails_cleanly(self, capsys, tmp_path):
         assert main(["serve", "--checkpoint-dir", str(tmp_path / "none")]) == 2
         assert "cannot load checkpoint" in capsys.readouterr().out
+
+
+class TestScanCommand:
+    @pytest.fixture()
+    def encoded_dir(self, capsys, tmp_path):
+        shard_dir = tmp_path / "shards"
+        assert main(
+            [
+                "encode",
+                "--dataset", "census",
+                "--rows", "200",
+                "--batch-size", "50",
+                "--executor", "serial",
+                "--shard-dir", str(shard_dir),
+            ]
+        ) == 0
+        capsys.readouterr()
+        return shard_dir
+
+    def test_aggregate_round_trip(self, capsys, encoded_dir):
+        assert main(["scan", "--shard-dir", str(encoded_dir), "--agg", "count"]) == 0
+        out = capsys.readouterr().out
+        assert "count" in out
+        assert "200" in out
+        assert "scanned 200 rows in 4 shards" in out
+
+    def test_selection_prints_rows_and_stats(self, capsys, encoded_dir):
+        assert main(
+            [
+                "scan",
+                "--shard-dir", str(encoded_dir),
+                "--where", "c0 >= 0",
+                "--columns", "c1,c0",
+                "--limit", "6",
+                "--max-print", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "row" in out and "c1" in out
+        assert "(3 more rows not printed)" in out
+        assert "6 matched" in out
+        assert "push-down on" in out
+
+    def test_no_pushdown_flag_matches(self, capsys, encoded_dir):
+        assert main(
+            ["scan", "--shard-dir", str(encoded_dir), "--agg", "count,mean:c0"]
+        ) == 0
+        pushed = capsys.readouterr().out
+        assert main(
+            [
+                "scan",
+                "--shard-dir", str(encoded_dir),
+                "--agg", "count,mean:c0",
+                "--no-pushdown",
+            ]
+        ) == 0
+        fallback = capsys.readouterr().out
+        assert pushed.splitlines()[:2] == fallback.splitlines()[:2]
+
+    def test_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        assert main(["scan", "--shard-dir", str(tmp_path / "nope")]) == 2
+        assert "no shard manifest" in capsys.readouterr().out
+
+    def test_bad_where_and_columns_fail_cleanly(self, capsys, encoded_dir):
+        assert main(
+            ["scan", "--shard-dir", str(encoded_dir), "--where", "c0 >"]
+        ) == 2
+        assert "scan failed" in capsys.readouterr().out
+        assert main(
+            ["scan", "--shard-dir", str(encoded_dir), "--columns", "c0,banana"]
+        ) == 2
+        assert "comma-separated" in capsys.readouterr().out
+
+
+class TestFsckCommand:
+    def _encode(self, capsys, tmp_path):
+        shard_dir = tmp_path / "shards"
+        assert main(
+            [
+                "encode",
+                "--dataset", "census",
+                "--rows", "120",
+                "--batch-size", "60",
+                "--executor", "serial",
+                "--shard-dir", str(shard_dir),
+            ]
+        ) == 0
+        capsys.readouterr()
+        return shard_dir
+
+    def test_clean_directory(self, capsys, tmp_path):
+        shard_dir = self._encode(capsys, tmp_path)
+        assert main(["fsck", "--shard-dir", str(shard_dir)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_orphan_dry_run_then_sweep(self, capsys, tmp_path):
+        shard_dir = self._encode(capsys, tmp_path)
+        orphan = shard_dir / "shard-00000.g7.bin"
+        orphan.write_bytes(b"leftover from an interrupted compact")
+
+        assert main(["fsck", "--shard-dir", str(shard_dir), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove: shard-00000.g7.bin" in out
+        assert "dry run" in out
+        assert orphan.exists()
+
+        assert main(["fsck", "--shard-dir", str(shard_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "removed: shard-00000.g7.bin" in out
+        assert not orphan.exists()
+
+        assert main(["fsck", "--shard-dir", str(shard_dir)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_missing_referenced_shard_exits_nonzero(self, capsys, tmp_path):
+        import json
+
+        shard_dir = self._encode(capsys, tmp_path)
+        manifest = json.loads((shard_dir / "manifest.json").read_text())
+        victim = manifest["shards"][0]["filename"]
+        (shard_dir / victim).unlink()
+        assert main(["fsck", "--shard-dir", str(shard_dir)]) == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        assert main(["fsck", "--shard-dir", str(tmp_path / "nope")]) == 2
+        assert "no shard manifest" in capsys.readouterr().out
