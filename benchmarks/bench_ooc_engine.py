@@ -104,7 +104,11 @@ def test_encode_parallel_speedup(bench_json, ooc_dataset):
         parallel_seconds=parallel_s,
         speedup=speedup,
     )
-    if (os.cpu_count() or 1) >= 2 and speedup <= 1.0:
+    if (os.cpu_count() or 1) < 2:
+        # The row above still lands in the JSON; only the expectation is
+        # waived — a single core has no parallel win to measure.
+        pytest.skip("single-core machine: parallel encode speedup not expected")
+    if speedup <= 1.0:
         # xfail, not a hard assert: on a loaded shared runner the pool
         # start-up can eat the win for this small workload, and the smoke
         # job must not block unrelated PRs on scheduler noise.  The recorded

@@ -43,6 +43,7 @@ from repro.api import (
     open_service,
     recommend_scheme,
 )
+from repro.core.calibration import WORKLOADS, ensure_calibration
 
 
 def _profile_or_none(name: str):
@@ -87,14 +88,24 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     if profile is None:
         return 2
     sample = profile.matrix(args.rows, seed=args.seed)
-    recommendation = recommend_scheme(sample)
+    calibration = ensure_calibration() if args.workload is not None else None
+    recommendation = recommend_scheme(sample, workload=args.workload, calibration=calibration)
     print(f"sample: {args.rows} rows x {sample.shape[1]} columns from {args.dataset!r}")
-    print(f"{'scheme':<10} {'ratio':>8} {'direct ops':>11} {'score':>8}")
-    for report in recommendation.reports:
-        print(
-            f"{report.name:<10} {report.compression_ratio:>8.1f} "
-            f"{str(report.supports_direct_ops):>11} {report.score:>8.1f}"
-        )
+    if recommendation.calibrated:
+        print(f"workload: {recommendation.workload!r} (measured-cost ranking)")
+        print(f"{'scheme':<10} {'ratio':>8} {'direct ops':>11} {'cost':>12}")
+        for report in recommendation.reports:
+            print(
+                f"{report.name:<10} {report.compression_ratio:>8.1f} "
+                f"{str(report.supports_direct_ops):>11} {report.measured_cost:>12.3e}"
+            )
+    else:
+        print(f"{'scheme':<10} {'ratio':>8} {'direct ops':>11} {'score':>8}")
+        for report in recommendation.reports:
+            print(
+                f"{report.name:<10} {report.compression_ratio:>8.1f} "
+                f"{str(report.supports_direct_ops):>11} {report.score:>8.1f}"
+            )
     print(f"\nrecommended scheme: {recommendation.best.name}")
     return 0
 
@@ -123,6 +134,7 @@ def _cmd_encode(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
             executor=args.executor,
+            workload=args.workload,
         )
     except (KeyError, ValueError) as exc:
         print(f"encode failed: {exc}")
@@ -150,7 +162,9 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     dataset = Dataset.open(args.shard_dir)
     try:
         report = dataset.compact(
-            readvise=not args.no_readvise, sample_rows=args.sample_rows
+            readvise=not args.no_readvise,
+            sample_rows=args.sample_rows,
+            workload=args.workload,
         )
     except ValueError as exc:
         print(f"compact failed: {exc}")
@@ -267,6 +281,7 @@ def _cmd_train_ooc(args: argparse.Namespace) -> int:
             prefetch_depth=args.prefetch_depth,
             workers=args.workers,
             executor=args.executor,
+            workload=args.workload,
         )
     except (KeyError, ValueError) as exc:
         print(f"invalid train-ooc configuration: {exc}")
@@ -466,6 +481,13 @@ def _add_encode_args(sub: argparse.ArgumentParser, default_dataset: str) -> None
         default="auto",
         help="encode executor kind",
     )
+    sub.add_argument(
+        "--workload",
+        choices=WORKLOADS,
+        default=None,
+        help='rank "auto" scheme candidates by measured kernel cost for this '
+        "workload (runs a one-time calibration pass; default: ratio heuristic)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -480,6 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--dataset", default="census", help="dataset profile name")
     advise.add_argument("--rows", type=int, default=250, help="sample mini-batch rows")
     advise.add_argument("--seed", type=int, default=0, help="sample seed")
+    advise.add_argument(
+        "--workload",
+        choices=WORKLOADS,
+        default=None,
+        help="rank by measured kernel cost for this workload instead of the ratio heuristic",
+    )
     advise.set_defaults(func=_cmd_advise)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
@@ -515,6 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compact.add_argument(
         "--sample-rows", type=int, default=100, help="rows the advisor samples per shard"
+    )
+    compact.add_argument(
+        "--workload",
+        choices=WORKLOADS,
+        default=None,
+        help="re-advise with the measured cost model for this workload "
+        "(calibration is persisted next to the dataset)",
     )
     compact.set_defaults(func=_cmd_compact)
 

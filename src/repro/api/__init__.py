@@ -30,6 +30,12 @@ from repro.api.service import open_service
 from repro.compression import available_schemes, get_scheme
 from repro.core import TOCMatrix
 from repro.core.advisor import recommend_scheme
+from repro.core.calibration import (
+    WORKLOADS,
+    Calibration,
+    calibrate,
+    ensure_calibration,
+)
 from repro.data import DATASET_PROFILES, generate_dataset
 from repro.engine.compact import CompactReport, FsckReport, ShardChange
 from repro.exec import (
@@ -46,6 +52,7 @@ from repro.serve.service import PredictionService
 
 __all__ = [
     "Aggregate",
+    "Calibration",
     "Checkpoint",
     "CompactReport",
     "Compare",
@@ -62,9 +69,12 @@ __all__ = [
     "ScanResult",
     "ShardChange",
     "TOCMatrix",
+    "WORKLOADS",
     "__version__",
     "accuracy",
     "available_schemes",
+    "calibrate",
+    "ensure_calibration",
     "error_rate",
     "generate_dataset",
     "get_scheme",

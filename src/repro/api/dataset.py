@@ -31,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.calibration import WORKLOADS, Calibration, ensure_calibration
 from repro.data.minibatch import split_minibatches
 from repro.engine.compact import CompactReport, FsckReport, compact_dataset, fsck_dataset
 from repro.engine.encode import AUTO_SAMPLE_ROWS, AUTO_SCHEME
@@ -41,6 +42,23 @@ from repro.storage.buffer_pool import BufferPool
 
 #: Default mini-batch row count (matches the training default).
 DEFAULT_BATCH_SIZE = 250
+
+
+def _calibration_for(path: Path | str, workload: str | None) -> Calibration | None:
+    """The calibration backing workload-aware advice, or ``None`` without one.
+
+    Resolved next to the dataset directory so the timing pass runs at most
+    once per machine and the measurements persist as ``calibration.json``
+    for every later open/compact of the same data.
+    """
+    if workload is None:
+        return None
+    if workload not in WORKLOADS:
+        # Fail before the timing pass, not after it.
+        raise ValueError(
+            f"unknown workload {workload!r}; valid workloads: {list(WORKLOADS)}"
+        )
+    return ensure_calibration(path)
 
 
 @dataclass(frozen=True)
@@ -94,18 +112,26 @@ class Dataset:
         seed: int | None = 0,
         workers: int | None = None,
         executor: str = "auto",
+        workload: str | None = None,
     ) -> "Dataset":
         """Shuffle once, split into mini-batches, and encode them to ``path``.
 
         ``scheme`` is any registered scheme name, ``"auto"`` (default) for
         per-shard advisor selection, or a sequence naming one scheme per
         batch.  The directory is created if needed.
+
+        ``workload`` (``"train"``, ``"serve"``, ``"scan"``) switches
+        ``"auto"`` selection to the measured cost model: the kernel
+        calibration is resolved once (computed on first use, persisted as
+        ``calibration.json`` next to the manifest) and each shard gets the
+        scheme whose measured op mix is cheapest for that workload.
         """
         batches = split_minibatches(
             features, labels, batch_size=batch_size, shuffle=shuffle, seed=seed
         )
         sharded = ShardedDataset.create(
-            path, batches, scheme, workers=workers, executor=executor
+            path, batches, scheme, workers=workers, executor=executor,
+            workload=workload, calibration=_calibration_for(path, workload),
         )
         return cls(sharded)
 
@@ -118,10 +144,12 @@ class Dataset:
         scheme: str | Sequence[str] = AUTO_SCHEME,
         workers: int | None = None,
         executor: str = "auto",
+        workload: str | None = None,
     ) -> "Dataset":
         """Encode pre-split ``(features, labels)`` batches to ``path``."""
         sharded = ShardedDataset.create(
-            path, batches, scheme, workers=workers, executor=executor
+            path, batches, scheme, workers=workers, executor=executor,
+            workload=workload, calibration=_calibration_for(path, workload),
         )
         return cls(sharded)
 
@@ -146,6 +174,7 @@ class Dataset:
         batch_size: int | None = None,
         workers: int | None = None,
         executor: str = "auto",
+        workload: str | None = None,
     ) -> list[ShardInfo]:
         """Append data as new shards (manifest and labels rewritten atomically).
 
@@ -153,7 +182,8 @@ class Dataset:
         a ``(features, labels)`` array pair that is split in row order with
         ``batch_size`` (default: the dataset's widest existing shard).  The
         scheme defaults to the dataset's original request, so an ``"auto"``
-        dataset keeps advising per shard as it grows.
+        dataset keeps advising per shard as it grows; ``workload`` makes that
+        advice use the measured cost model (see :meth:`create`).
         """
         if labels is not None:
             size = batch_size or max(
@@ -161,13 +191,18 @@ class Dataset:
             )
             batches = split_minibatches(batches, labels, batch_size=size, shuffle=False)
         return self._sharded.append(
-            list(batches), scheme, workers=workers, executor=executor
+            list(batches), scheme, workers=workers, executor=executor,
+            workload=workload, calibration=_calibration_for(self.path, workload),
         )
 
     # -- maintenance -----------------------------------------------------------
 
     def compact(
-        self, readvise: bool = True, *, sample_rows: int = AUTO_SAMPLE_ROWS
+        self,
+        readvise: bool = True,
+        *,
+        sample_rows: int = AUTO_SAMPLE_ROWS,
+        workload: str | None = None,
     ) -> CompactReport:
         """Re-advise every shard; re-encode only those whose winner changed.
 
@@ -178,9 +213,21 @@ class Dataset:
         compact right after a first is a no-op (``report.changed`` is
         ``False``).  With ``readvise=False`` only the manifest is rewritten
         (normalising a v1 directory to format v2).
+
+        ``workload`` re-advises with the measured cost model: the kernel
+        calibration (``calibration.json`` next to the manifest; computed on
+        first use) scores each scheme by the ops that workload actually runs,
+        so the *same* data compacts differently for a training replica
+        (``workload="train"``) than for a serving one (``workload="serve"``)
+        — and re-running ``compact`` with a workload retroactively upgrades
+        datasets encoded under the old flat-penalty advisor.
         """
         return compact_dataset(
-            self._sharded, readvise=readvise, sample_rows=sample_rows
+            self._sharded,
+            readvise=readvise,
+            sample_rows=sample_rows,
+            workload=workload,
+            calibration=_calibration_for(self.path, workload),
         )
 
     def fsck(self, *, remove: bool = True) -> FsckReport:
@@ -222,7 +269,8 @@ class Dataset:
         Shards stream through a byte-budgeted
         :class:`~repro.storage.buffer_pool.BufferPool` (``budget_bytes``
         defaults to the full payload) and a selection with ``limit`` stops
-        reading as soon as enough rows matched.
+        reading as soon as enough rows matched (``limit`` must be at least
+        1 — pass ``None`` for no limit).
         """
         sharded = self._sharded
         pool = BufferPool(

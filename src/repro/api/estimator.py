@@ -28,6 +28,7 @@ import scipy.sparse as sp
 
 from repro.api.dataset import Dataset
 from repro.compression.registry import get_scheme
+from repro.core.calibration import WORKLOADS, ensure_calibration
 from repro.data.minibatch import iter_minibatch_slices
 from repro.engine.encode import AUTO_SCHEME, resolve_scheme_name
 from repro.engine.shards import ShardedDataset
@@ -97,6 +98,12 @@ class Estimator:
         Compression for training batches and on-disk shards: a registered
         scheme name, ``"auto"`` (default — the advisor picks per batch), or
         ``None`` to train on raw dense batches.
+    workload:
+        Op mix the ``"auto"`` advisor optimises for when encoding.  Defaults
+        to ``"train"`` — fitting is matmat-heavy epochs, so batches are
+        compressed with the scheme whose *measured* kernel costs make those
+        epochs cheapest (see :mod:`repro.core.calibration`).  ``None``
+        restores the ratio-only flat-penalty advisor.
     batch_size / epochs / learning_rate / learning_rate_decay / seed:
         MGD hyper-parameters (the seed also drives shuffling and model init).
     l2:
@@ -112,6 +119,7 @@ class Estimator:
         model: str | object = "logreg",
         *,
         scheme: str | None = AUTO_SCHEME,
+        workload: str | None = "train",
         batch_size: int = 250,
         epochs: int = 10,
         learning_rate: float = 0.1,
@@ -160,7 +168,12 @@ class Estimator:
                 get_scheme(scheme)
             except KeyError:
                 raise ValueError(f"unknown compression scheme {scheme!r}") from None
+        if workload is not None and workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {workload!r}; valid workloads: {list(WORKLOADS)}"
+            )
         self.scheme = scheme
+        self.workload = workload
         self.batch_size = batch_size
         self.epochs = epochs
         self.learning_rate = learning_rate
@@ -192,6 +205,7 @@ class Estimator:
         return {
             "model": model_spec,
             "scheme": self.scheme,
+            "workload": self.workload,
             "batch_size": self.batch_size,
             "epochs": self.epochs,
             "learning_rate": self.learning_rate,
@@ -285,6 +299,7 @@ class Estimator:
                 seed=config.shuffle_seed,
                 workers=self.workers,
                 executor=self.executor,
+                workload=self.workload if self.scheme == AUTO_SCHEME else None,
             )
             report = self._run_out_of_core(dataset, config, eval_fn, reset)
         else:
@@ -345,6 +360,14 @@ class Estimator:
             n_rows, n_cols = matrix.shape
         else:
             dense = np.asarray(features, dtype=np.float64)
+            # The calibration is resolved once for the whole fit (not per
+            # batch); it is machine-wide, so later fits reuse the process
+            # cache and pay nothing.
+            calibration = (
+                ensure_calibration()
+                if self.scheme == AUTO_SCHEME and self.workload is not None
+                else None
+            )
             batches = []
             for idx in iter_minibatch_slices(
                 dense.shape[0], config.batch_size, seed=config.shuffle_seed
@@ -352,7 +375,10 @@ class Estimator:
                 batch = dense[idx]
                 if self.scheme is not None:
                     # "auto" advises per batch, exactly as shard encoding does.
-                    name = resolve_scheme_name(self.scheme, batch)
+                    name = resolve_scheme_name(
+                        self.scheme, batch,
+                        workload=self.workload, calibration=calibration,
+                    )
                     batch = get_scheme(name).compress(batch)
                 batches.append((batch, targets[idx]))
             n_rows, n_cols = dense.shape

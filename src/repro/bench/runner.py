@@ -138,10 +138,20 @@ def write_bench_json(
     return path
 
 
-def time_callable(func, repeats: int = 3) -> float:
-    """Median wall-clock seconds of calling ``func()`` ``repeats`` times."""
+def time_callable(func, repeats: int = 3, *, warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``repeats`` calls, after ``warmup`` untimed ones.
+
+    The first call of a cold kernel pays one-off costs (lazy imports, cache
+    population, allocator warm-up) that do not recur; including it in a
+    3-sample median skews small measurements badly, so it is burned off
+    before sampling starts.  ``warmup=0`` restores the cold-start behaviour.
+    """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    for _ in range(warmup):
+        func()
     samples = []
     for _ in range(repeats):
         start = time.perf_counter()

@@ -3,8 +3,19 @@
 Section 5.1 of the paper ends with a practical recommendation: "one can
 simply test TOC on a mini-batch sample and figure out if TOC is suitable for
 the dataset".  This module turns that advice into a utility: measure every
-registered scheme on a sample batch and recommend one, weighing compression
-ratio against whether matrix operations can run without decompression.
+registered scheme on a sample batch and recommend one.
+
+Two rankings are available:
+
+* **measured cost** (preferred): pass a :class:`~repro.core.calibration.Calibration`
+  and a ``workload`` and each scheme is scored by ``bytes × expected op
+  mix`` — the kernel timings actually measured on this machine, weighted by
+  the ops the workload runs, plus an I/O term from the compressed bytes.
+  This is what fixes the systematic mis-selection the flat penalty causes
+  on machines whose kernel costs diverge from the guess (Figure 8).
+* **ratio fallback**: without a calibration the original ranking applies —
+  compression ratio, discounted by a flat 0.25 for schemes whose every op
+  must decompress first.  Ties break deterministically on the scheme name.
 """
 
 from __future__ import annotations
@@ -14,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compression.registry import available_schemes, get_scheme
+from repro.core.calibration import WORKLOAD_MIXES, WORKLOADS, Calibration
 
 
 @dataclass(frozen=True)
@@ -23,17 +35,35 @@ class SchemeReport:
     name: str
     compression_ratio: float
     supports_direct_ops: bool
+    #: Expected seconds per matrix element under the requested workload,
+    #: from the calibrated cost model; ``None`` when ranked by ratio only.
+    measured_cost: float | None = None
 
     @property
     def score(self) -> float:
-        """Ranking score: ratio, discounted when every op must decompress.
+        """Fallback ranking score: ratio, discounted when every op must decompress.
 
         The discount reflects the paper's Figure 8: byte-block schemes pay a
         full inflate on every matrix operation, so their ratio advantage has
-        to be large before they win end-to-end.
+        to be large before they win end-to-end.  It is a guess — the
+        calibrated ranking replaces it with measurements when available.
         """
         penalty = 1.0 if self.supports_direct_ops else 0.25
         return self.compression_ratio * penalty
+
+
+def _fallback_rank_key(report: SchemeReport):
+    """Ratio ranking: score descending, scheme name breaking ties.
+
+    Without the name tie-break the order of equal-scored schemes (Snappy and
+    Gzip tie routinely) would depend on registry insertion order.
+    """
+    return (-report.score, report.name)
+
+
+def _calibrated_rank_key(report: SchemeReport):
+    """Measured-cost ranking: cheapest first, scheme name breaking ties."""
+    return (report.measured_cost, report.name)
 
 
 @dataclass(frozen=True)
@@ -42,6 +72,10 @@ class Recommendation:
 
     sample_shape: tuple[int, int]
     reports: tuple[SchemeReport, ...]
+    #: The workload the ranking was scored for (``None``: ratio fallback).
+    workload: str | None = None
+    #: Whether measured kernel costs (vs the flat-penalty guess) ranked it.
+    calibrated: bool = False
 
     @property
     def best(self) -> SchemeReport:
@@ -51,26 +85,68 @@ class Recommendation:
         return [report.name for report in self.reports]
 
 
-def recommend_scheme(sample_batch: np.ndarray, schemes: list[str] | None = None) -> Recommendation:
+def recommend_scheme(
+    sample_batch: np.ndarray,
+    schemes: list[str] | None = None,
+    *,
+    workload: str | None = None,
+    calibration: Calibration | None = None,
+) -> Recommendation:
     """Measure ``schemes`` (default: all registered) on a sample mini-batch.
 
     Returns a :class:`Recommendation` whose reports are sorted best-first.
     The sample should be a representative mini-batch (a few hundred rows);
     compression behaviour is stable across batches drawn from the same data.
+
+    With a ``calibration`` the ranking minimises the measured cost of
+    ``workload`` (default ``"train"``); without one, the ratio-only fallback
+    ranks exactly as before (modulo the deterministic name tie-break), and
+    ``workload`` is validated but otherwise ignored.
+
+    Compression ratios are computed against the *source* dtype's dense
+    footprint: schemes store float64 internally, but a float32 sample's
+    baseline is 4 bytes per element, not 8 — the old float64 baseline
+    overstated ratios 2x for float32 datasets.
     """
-    batch = np.asarray(sample_batch, dtype=np.float64)
+    if workload is not None and workload not in WORKLOAD_MIXES:
+        raise ValueError(
+            f"unknown workload {workload!r}; valid workloads: {list(WORKLOADS)}"
+        )
+    source = np.asarray(sample_batch)
+    batch = np.asarray(source, dtype=np.float64)
     if batch.ndim != 2 or batch.size == 0:
         raise ValueError("the sample batch must be a non-empty 2-D matrix")
+    source_itemsize = source.dtype.itemsize if source.dtype.kind in "biuf" else 8
+    dense_bytes = batch.shape[0] * batch.shape[1] * source_itemsize
+    sparsity = float(np.mean(batch == 0.0))
     names = list(schemes) if schemes is not None else available_schemes()
+    effective_workload = workload
+    if calibration is not None:
+        effective_workload = workload or "train"
     reports = []
     for name in names:
         compressed = get_scheme(name).compress(batch)
+        cost = None
+        if calibration is not None:
+            cost = calibration.expected_cost(
+                name,
+                workload=effective_workload,
+                sparsity=sparsity,
+                bytes_per_element=compressed.nbytes / batch.size,
+            )
         reports.append(
             SchemeReport(
                 name=name,
-                compression_ratio=compressed.compression_ratio(),
+                compression_ratio=dense_bytes / max(compressed.nbytes, 1),
                 supports_direct_ops=compressed.supports_direct_ops,
+                measured_cost=cost,
             )
         )
-    reports.sort(key=lambda report: report.score, reverse=True)
-    return Recommendation(sample_shape=batch.shape, reports=tuple(reports))
+    key = _calibrated_rank_key if calibration is not None else _fallback_rank_key
+    reports.sort(key=key)
+    return Recommendation(
+        sample_shape=batch.shape,
+        reports=tuple(reports),
+        workload=effective_workload,
+        calibrated=calibration is not None,
+    )

@@ -91,17 +91,27 @@ def _sample_rows(matrix, n_rows: int, sample_rows: int):
 
 
 def readvise_shard(
-    dataset: ShardedDataset, batch_id: int, sample_rows: int = AUTO_SAMPLE_ROWS
+    dataset: ShardedDataset,
+    batch_id: int,
+    sample_rows: int = AUTO_SAMPLE_ROWS,
+    *,
+    workload: str | None = None,
+    calibration=None,
 ) -> str:
     """The scheme the advisor would pick for one shard *today*.
 
     Decoding is lossless, so the sampled rows are exactly the rows the
     encoder saw — a shard whose data has not changed always re-advises to
-    the scheme ``"auto"`` encoding picked for it.
+    the scheme ``"auto"`` encoding picked for it (under the same workload
+    and calibration).
     """
     matrix = dataset.decode(batch_id)
     n_rows = dataset.shards[batch_id].n_rows
-    return advise_scheme(_sample_rows(matrix, n_rows, sample_rows))
+    return advise_scheme(
+        _sample_rows(matrix, n_rows, sample_rows),
+        workload=workload,
+        calibration=calibration,
+    )
 
 
 def compact_dataset(
@@ -109,15 +119,29 @@ def compact_dataset(
     *,
     readvise: bool = True,
     sample_rows: int = AUTO_SAMPLE_ROWS,
+    workload: str | None = None,
+    calibration=None,
 ) -> CompactReport:
     """Re-advise every shard and re-encode the ones whose winner changed.
 
     Returns a :class:`CompactReport`; ``report.changed`` is ``False`` when
     the directory was already optimal (which makes compaction idempotent —
     a second pass right after a first is always a no-op).
+
+    ``workload``/``calibration`` switch the advisor to the measured cost
+    model — the same shard directory compacts differently for a training
+    replica (``"train"``) than for a serving one (``"serve"``), and because
+    compaction re-advises, a calibrated advisor retroactively improves
+    datasets encoded before calibration existed.
     """
     if sample_rows < 1:
         raise ValueError("sample_rows must be at least 1")
+    if readvise and workload is not None and calibration is None:
+        from repro.core.calibration import ensure_calibration
+
+        # Resolved (and persisted) next to the dataset so later compacts and
+        # other processes reload the same measurements instead of re-timing.
+        calibration = ensure_calibration(dataset.directory)
     start = time.perf_counter()
     report = CompactReport(
         examined=len(dataset.shards),
@@ -129,7 +153,11 @@ def compact_dataset(
     if readvise:
         for shard in list(dataset.shards):
             matrix = dataset.decode(shard.batch_id)
-            winner = advise_scheme(_sample_rows(matrix, shard.n_rows, sample_rows))
+            winner = advise_scheme(
+                _sample_rows(matrix, shard.n_rows, sample_rows),
+                workload=workload,
+                calibration=calibration,
+            )
             if winner == shard.scheme:
                 continue
             # Full decode only for the shards actually being re-encoded.

@@ -53,21 +53,27 @@ class EncodedBatch:
         return len(self.payload)
 
 
-def advise_scheme(sample_rows: np.ndarray) -> str:
+def advise_scheme(sample_rows: np.ndarray, workload: str | None = None,
+                  calibration=None) -> str:
     """The Section 5.1 rule: the advisor's winner for a dense row sample.
 
     This one function is the whole encode-time / compact-time selection
     policy — ``scheme="auto"`` encoding and
     :func:`repro.engine.compact.readvise_shard` both call it, so the two can
     never diverge (which is what keeps a freshly-advised dataset compacting
-    to a no-op).
+    to a no-op).  With a ``calibration``
+    (:class:`~repro.core.calibration.Calibration`) the winner minimises the
+    measured cost of ``workload``; without one the ratio fallback applies.
     """
     from repro.core.advisor import recommend_scheme
 
-    return recommend_scheme(sample_rows).best.name
+    return recommend_scheme(
+        sample_rows, workload=workload, calibration=calibration
+    ).best.name
 
 
-def resolve_scheme_name(scheme_name: str, features: np.ndarray) -> str:
+def resolve_scheme_name(scheme_name: str, features: np.ndarray,
+                        workload: str | None = None, calibration=None) -> str:
     """Map :data:`AUTO_SCHEME` to a concrete scheme for one batch.
 
     Fixed names pass through untouched; ``"auto"`` runs the advisor on a
@@ -76,20 +82,27 @@ def resolve_scheme_name(scheme_name: str, features: np.ndarray) -> str:
     """
     if scheme_name != AUTO_SCHEME:
         return scheme_name
-    return advise_scheme(features[: min(features.shape[0], AUTO_SAMPLE_ROWS)])
+    return advise_scheme(
+        features[: min(features.shape[0], AUTO_SAMPLE_ROWS)],
+        workload=workload,
+        calibration=calibration,
+    )
 
 
-def _encode_one(task: tuple[int, np.ndarray, str]) -> EncodedBatch:
+def _encode_one(task: tuple) -> EncodedBatch:
     """Worker body: compress one batch with the named (or advised) scheme.
 
     Top-level function so it pickles cleanly into ``ProcessPoolExecutor``
     workers; the scheme is looked up by name inside the worker for the same
-    reason (scheme objects need not be picklable).
+    reason (scheme objects need not be picklable — the calibration, a plain
+    frozen dataclass of dicts, pickles fine and rides along in the task).
     """
     from repro.compression.registry import get_scheme
 
-    batch_id, features, scheme_name = task
-    resolved = resolve_scheme_name(scheme_name, features)
+    batch_id, features, scheme_name, workload, calibration = task
+    resolved = resolve_scheme_name(
+        scheme_name, features, workload=workload, calibration=calibration
+    )
     compressed = get_scheme(resolved).compress(features)
     return EncodedBatch(
         batch_id=batch_id,
@@ -128,6 +141,8 @@ def encode_batches(
     *,
     workers: int | None = None,
     executor: str = "auto",
+    workload: str | None = None,
+    calibration=None,
 ) -> list[EncodedBatch]:
     """Compress every batch, fanning out over workers.
 
@@ -137,6 +152,11 @@ def encode_batches(
     regardless of executor scheduling, each carrying the scheme actually
     used.  ``executor`` is one of ``"auto"`` (processes when multiple cores
     are available), ``"serial"``, ``"thread"``, or ``"process"``.
+
+    ``workload`` switches ``"auto"`` selection to the measured cost model:
+    the calibration is resolved once here (``ensure_calibration``) — never
+    inside pool workers, which would each re-run the timing pass — and
+    travels to them pickled inside the tasks.
     """
     n_workers = resolve_workers(workers)
     kind = resolve_executor(executor, n_workers)
@@ -148,8 +168,12 @@ def encode_batches(
             raise ValueError(
                 f"got {len(per_batch)} scheme names for {len(feature_batches)} batches"
             )
+    if workload is not None and calibration is None and AUTO_SCHEME in per_batch:
+        from repro.core.calibration import ensure_calibration
+
+        calibration = ensure_calibration()
     tasks = [
-        (batch_id, np.asarray(features, dtype=np.float64), name)
+        (batch_id, np.asarray(features, dtype=np.float64), name, workload, calibration)
         for batch_id, (features, name) in enumerate(zip(feature_batches, per_batch))
     ]
     if not tasks:

@@ -121,12 +121,16 @@ class ShardedDataset:
         *,
         workers: int | None = None,
         executor: str = "auto",
+        workload: str | None = None,
+        calibration=None,
     ) -> "ShardedDataset":
         """Encode ``(features, labels)`` batches in parallel and persist them.
 
         ``scheme_name`` may be any registered scheme, ``"auto"`` to let the
         advisor pick per batch, or a sequence naming a scheme per batch; the
         manifest records the scheme actually used for every shard.
+        ``workload``/``calibration`` switch ``"auto"`` to the measured cost
+        model (see :mod:`repro.core.calibration`).
         """
         if not batches:
             raise ValueError("at least one mini-batch is required")
@@ -139,6 +143,8 @@ class ShardedDataset:
             scheme_name,
             workers=workers,
             executor=executor,
+            workload=workload,
+            calibration=calibration,
         )
         encode_seconds = time.perf_counter() - start
 
@@ -250,6 +256,8 @@ class ShardedDataset:
         *,
         workers: int | None = None,
         executor: str = "auto",
+        workload: str | None = None,
+        calibration=None,
     ) -> list[ShardInfo]:
         """Encode and persist additional ``(features, labels)`` batches.
 
@@ -278,6 +286,8 @@ class ShardedDataset:
             scheme_name,
             workers=workers,
             executor=executor,
+            workload=workload,
+            calibration=calibration,
         )
         self.encode_seconds += time.perf_counter() - start
         self.encode_executor = resolve_executor(executor, resolve_workers(workers))

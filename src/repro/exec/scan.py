@@ -444,8 +444,10 @@ def scan_shards(
             raise ValueError("pass either columns (selection) or agg (aggregation), not both")
         if limit is not None:
             raise ValueError("limit applies to selections, not aggregates")
-    if limit is not None and limit < 0:
-        raise ValueError("limit must be non-negative")
+    if limit is not None and limit < 1:
+        # limit=0 is always a caller bug: it would silently return an empty
+        # result where "no limit" (None) was almost certainly meant.
+        raise ValueError("limit must be at least 1")
     selected_columns = [int(c) for c in columns] if columns is not None else None
 
     result = ScanResult(columns=selected_columns)

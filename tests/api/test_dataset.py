@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.api import Dataset
+from repro.core.calibration import CALIBRATION_NAME, Calibration
 from repro.data.registry import DATASET_PROFILES
 from repro.engine.shards import MANIFEST_NAME, ShardedDataset
 from repro.engine.trainer import OutOfCoreTrainer
@@ -206,3 +207,55 @@ class TestCompact:
     def test_bad_sample_rows_rejected(self, dataset):
         with pytest.raises(ValueError, match="sample_rows"):
             dataset.compact(sample_rows=0)
+
+
+class TestWorkloadCalibration:
+    def test_create_with_workload_persists_calibration(self, tmp_path, census):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / "serve", features, labels, scheme="auto", batch_size=100,
+            executor="serial", workload="serve",
+        )
+        cal_file = dataset.path / CALIBRATION_NAME
+        assert cal_file.exists()
+        assert Calibration.load(cal_file) is not None
+        assert len(dataset) == 4
+
+    def test_compact_with_workload_persists_calibration(self, tmp_path, census):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / "shards", features, labels, scheme="TOC", batch_size=100,
+            executor="serial",
+        )
+        report = dataset.compact(workload="serve")
+        assert report.examined == 4
+        assert (dataset.path / CALIBRATION_NAME).exists()
+        # The measured serve model never keeps TOC's slow row_slice around.
+        assert "TOC" not in dataset.stats().scheme_counts
+
+    def test_workload_compact_is_idempotent(self, tmp_path, census):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / "shards", features, labels, scheme="auto", batch_size=100,
+            executor="serial", workload="train",
+        )
+        report = dataset.compact(workload="train")
+        assert not report.changed  # encode and compact share one advisor
+
+    def test_fsck_never_sweeps_the_calibration_file(self, tmp_path, census):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / "shards", features, labels, scheme="auto", batch_size=100,
+            executor="serial", workload="scan",
+        )
+        report = dataset.fsck()
+        assert report.clean
+        assert (dataset.path / CALIBRATION_NAME).exists()
+
+    def test_unknown_workload_rejected(self, tmp_path, census):
+        features, labels = census
+        with pytest.raises(ValueError, match="unknown workload"):
+            Dataset.create(
+                tmp_path / "bad", features, labels, scheme="auto",
+                executor="serial", workload="oltp",
+            )

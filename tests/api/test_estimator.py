@@ -45,6 +45,24 @@ class TestConstruction:
         estimator.fit(features, labels)
         assert estimator.model is model  # not silently rebuilt
 
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            Estimator("logreg", workload="oltp")
+
+    def test_workload_defaults_to_train_and_round_trips(self):
+        estimator = Estimator("logreg")
+        assert estimator.workload == "train"
+        assert estimator.get_params()["workload"] == "train"
+        assert Estimator("logreg", workload=None).get_params()["workload"] is None
+
+    def test_auto_scheme_with_workload_trains_in_memory(self, census):
+        features, labels = census
+        report = Estimator(
+            "logreg", scheme="auto", workload="train", epochs=1, learning_rate=0.3
+        ).fit(features, labels)
+        assert report.backend == "in-memory"
+        assert np.isfinite(report.final_loss)
+
 
 class TestRouting:
     def test_arrays_train_in_memory(self, census):

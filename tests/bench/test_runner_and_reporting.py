@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.bench.reporting import format_series, format_table
@@ -48,11 +50,38 @@ class TestRunner:
         calls = []
         elapsed = time_callable(lambda: calls.append(1), repeats=3)
         assert elapsed >= 0
-        assert len(calls) == 3
+        assert len(calls) == 4  # 1 warmup (untimed) + 3 timed samples
+
+    def test_time_callable_warmup_count(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+
+    def test_time_callable_no_warmup(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=1, warmup=0)
+        assert len(calls) == 1
+
+    def test_time_callable_excludes_warmup_from_samples(self):
+        # A deliberately slow first call must not skew the median: with the
+        # default warmup it is burned before sampling starts.
+        state = {"first": True}
+
+        def cold_then_hot():
+            if state["first"]:
+                state["first"] = False
+                time.sleep(0.05)
+
+        elapsed = time_callable(cold_then_hot, repeats=3)
+        assert elapsed < 0.05
 
     def test_time_callable_rejects_zero_repeats(self):
         with pytest.raises(ValueError):
             time_callable(lambda: None, repeats=0)
+
+    def test_time_callable_rejects_negative_warmup(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, warmup=-1)
 
     def test_time_matrix_ops_keys(self):
         batch = minibatch_for("census", 50)

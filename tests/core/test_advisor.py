@@ -5,7 +5,35 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.advisor import recommend_scheme
+from repro.core.advisor import (
+    SchemeReport,
+    _calibrated_rank_key,
+    _fallback_rank_key,
+    recommend_scheme,
+)
+from repro.core.calibration import (
+    CALIBRATION_OPS,
+    CALIBRATION_VERSION,
+    Calibration,
+    platform_fingerprint,
+)
+
+
+def fake_calibration(costs: dict[str, float], level: float = 0.0) -> Calibration:
+    """A hand-built calibration: every op of a scheme costs ``costs[name]``."""
+    return Calibration(
+        version=CALIBRATION_VERSION,
+        created_unix=0.0,
+        git_commit=None,
+        platform=platform_fingerprint(),
+        rows=96,
+        cols=32,
+        sparsity_levels=(level,),
+        timings={
+            name: {repr(float(level)): {op: seconds for op in CALIBRATION_OPS}}
+            for name, seconds in costs.items()
+        },
+    )
 
 
 class TestRecommendScheme:
@@ -42,3 +70,96 @@ class TestRecommendScheme:
             recommend_scheme(np.zeros((0, 3)))
         with pytest.raises(ValueError):
             recommend_scheme(np.ones(5))
+
+    def test_rejects_unknown_workload(self, census_batch):
+        with pytest.raises(ValueError, match="unknown workload"):
+            recommend_scheme(census_batch, workload="batch-oltp")
+
+    def test_fallback_score_is_ratio_times_flat_penalty(self, census_batch):
+        """The no-calibration ranking is exactly the historical formula."""
+        recommendation = recommend_scheme(census_batch)
+        assert not recommendation.calibrated
+        for report in recommendation.reports:
+            penalty = 1.0 if report.supports_direct_ops else 0.25
+            assert report.score == pytest.approx(report.compression_ratio * penalty)
+            assert report.measured_cost is None
+        by_name = {r.name: r for r in recommendation.reports}
+        names = recommendation.ranked_names()
+        assert names == sorted(names, key=lambda n: (-by_name[n].score, n))
+
+
+class TestDeterministicTieBreak:
+    def test_fallback_ties_break_on_name(self):
+        tied = [
+            SchemeReport(name=n, compression_ratio=2.0, supports_direct_ops=True)
+            for n in ("Zeta", "Alpha", "Mid")
+        ]
+        assert [r.name for r in sorted(tied, key=_fallback_rank_key)] == [
+            "Alpha", "Mid", "Zeta",
+        ]
+
+    def test_calibrated_ties_break_on_name(self):
+        tied = [
+            SchemeReport(n, 2.0, True, measured_cost=1e-9)
+            for n in ("Zeta", "Alpha", "Mid")
+        ]
+        assert [r.name for r in sorted(tied, key=_calibrated_rank_key)] == [
+            "Alpha", "Mid", "Zeta",
+        ]
+
+    def test_ranking_invariant_to_scheme_input_order(self, census_batch):
+        forward = recommend_scheme(census_batch, schemes=["DEN", "CSR", "Gzip", "Snappy"])
+        reverse = recommend_scheme(census_batch, schemes=["Snappy", "Gzip", "CSR", "DEN"])
+        assert forward.ranked_names() == reverse.ranked_names()
+        assert forward.best.name == reverse.best.name
+
+
+class TestSourceDtypeBaseline:
+    def test_float32_ratio_uses_4_byte_baseline(self, census_batch):
+        """Schemes upcast to float64 internally; the ratio baseline must not.
+
+        The old float64 baseline credited float32 datasets with 2x the
+        compression they actually achieve against their own footprint.
+        """
+        as32 = census_batch.astype(np.float32)
+        as64 = as32.astype(np.float64)  # identical values, 8-byte dtype
+        r64 = {r.name: r for r in recommend_scheme(as64).reports}
+        r32 = {r.name: r for r in recommend_scheme(as32).reports}
+        for name, report in r32.items():
+            assert report.compression_ratio == pytest.approx(
+                r64[name].compression_ratio / 2.0, rel=1e-9
+            )
+
+    def test_object_dtype_falls_back_to_8_byte_baseline(self):
+        batch64 = np.array([[0.0, 1.5], [1.5, 0.0]])
+        as_object = batch64.astype(object)
+        ratio64 = recommend_scheme(batch64, schemes=["DEN"]).best.compression_ratio
+        ratio_obj = recommend_scheme(as_object, schemes=["DEN"]).best.compression_ratio
+        assert ratio_obj == pytest.approx(ratio64)
+
+
+class TestCalibratedRanking:
+    def test_calibrated_pick_follows_measured_cost(self, census_batch):
+        # TOC's ratio wins the fallback on this batch, but a calibration
+        # saying its kernels are 1000x slower must flip the serve pick.
+        names = ["DEN", "TOC"]
+        cal = fake_calibration({"DEN": 1e-9, "TOC": 1e-6})
+        flat = recommend_scheme(census_batch, schemes=names)
+        measured = recommend_scheme(
+            census_batch, schemes=names, workload="serve", calibration=cal
+        )
+        assert flat.best.name == "TOC"
+        assert measured.best.name == "DEN"
+        assert measured.calibrated
+        assert all(r.measured_cost is not None for r in measured.reports)
+
+    def test_calibration_defaults_workload_to_train(self, census_batch):
+        cal = fake_calibration({"DEN": 1e-9, "TOC": 1e-6})
+        measured = recommend_scheme(census_batch, schemes=["DEN", "TOC"], calibration=cal)
+        assert measured.workload == "train"
+
+    def test_workload_without_calibration_keeps_fallback_ranking(self, census_batch):
+        plain = recommend_scheme(census_batch)
+        with_workload = recommend_scheme(census_batch, workload="serve")
+        assert not with_workload.calibrated
+        assert with_workload.ranked_names() == plain.ranked_names()

@@ -205,12 +205,14 @@ class TestScanShards:
         assert result.n_rows_matched == 10
         assert len(consumed) == 1  # one 20-row shard already filled the limit
 
-    def test_limit_zero_and_empty_match(self):
+    def test_limit_zero_rejected_and_empty_match(self):
         rng = np.random.default_rng(24)
         dense = quantised(rng, rows=30)
         shards = self._stream(dense, ("CVI",), batch=30)
-        zero = scan_shards(iter(shards), limit=0)
-        assert zero.rows.shape == (0, dense.shape[1])
+        # limit=0 would silently return nothing where "no limit" was meant;
+        # it is a caller bug and must fail loudly.
+        with pytest.raises(ValueError, match="at least 1"):
+            scan_shards(iter(shards), limit=0)
         empty = scan_shards(iter(shards), where="c0 > 99")
         assert empty.rows.shape == (0, dense.shape[1])
         assert empty.row_ids.size == 0
@@ -221,7 +223,7 @@ class TestScanShards:
             scan_shards(iter([]), columns=[0], agg="count")
         with pytest.raises(ValueError, match="selections"):
             scan_shards(iter([]), agg="count", limit=5)
-        with pytest.raises(ValueError, match="non-negative"):
+        with pytest.raises(ValueError, match="at least 1"):
             scan_shards(iter([]), limit=-1)
 
 

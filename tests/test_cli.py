@@ -65,6 +65,15 @@ class TestParser:
         args = build_parser().parse_args(["train-ooc"])
         assert args.scheme == "TOC"
 
+    def test_workload_defaults_off_everywhere(self):
+        for argv in (["encode", "--shard-dir", "x"], ["train-ooc"],
+                     ["compact", "--shard-dir", "x"], ["advise"]):
+            assert build_parser().parse_args(argv).workload is None
+
+    def test_workload_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["encode", "--shard-dir", "x", "--workload", "oltp"])
+
 
 class TestEncodeStatsCompactCommands:
     def test_round_trip_encode_stats_compact_train_predict(self, capsys, tmp_path):
@@ -154,6 +163,30 @@ class TestEncodeStatsCompactCommands:
         capsys.readouterr()
         assert main(["compact", "--shard-dir", str(tmp_path), "--no-readvise"]) == 0
         assert "manifest rewritten" in capsys.readouterr().out
+
+    def test_workload_flag_encodes_compacts_and_advises(self, capsys, tmp_path):
+        assert main(
+            [
+                "encode",
+                "--dataset", "census",
+                "--rows", "150",
+                "--batch-size", "75",
+                "--executor", "serial",
+                "--workload", "serve",
+                "--shard-dir", str(tmp_path),
+            ]
+        ) == 0
+        assert "encoded" in capsys.readouterr().out
+        assert (tmp_path / "calibration.json").exists()
+
+        assert main(["compact", "--shard-dir", str(tmp_path), "--workload", "serve"]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+        assert main(["advise", "--dataset", "census", "--rows", "100",
+                     "--workload", "serve"]) == 0
+        out = capsys.readouterr().out
+        assert "measured-cost ranking" in out
+        assert "recommended scheme:" in out
 
 
 class TestTrainOOCCommand:
