@@ -23,6 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.bench.runner import write_bench_json
 from repro.data.registry import DATASET_PROFILES
 from repro.engine.trainer import OutOfCoreTrainer
@@ -35,6 +36,7 @@ BATCH_SIZE = 150
 REQUESTS = 1200
 CLIENTS = 8
 MEASURE_ROUNDS = 2  # best-of damps scheduler noise on shared runners
+OVERHEAD_ROUNDS = 4  # interleaved instrumented/uninstrumented pairs
 
 BACKENDS = {
     "unbatched": dict(max_batch_size=1, cache_size=0),
@@ -111,14 +113,49 @@ def test_microbatching_beats_unbatched(bench_json, serving_setup):
     results["cached"]["speedup_vs_unbatched"] = (
         results["cached"]["throughput_rps"] / results["unbatched"]["throughput_rps"]
     )
+
+    # Overhead gate: the same micro-batched traffic with every obs metric and
+    # span turned into a no-op.  Instrumented throughput must stay within 5%
+    # (counter increments share the lock the service already takes, and the
+    # batcher observes once per batch, so the per-request cost is ~a few µs).
+    # Measured as interleaved best-of pairs — scheduler noise between rounds
+    # is far larger than the effect being measured, and interleaving keeps
+    # warm-up / thermal drift from landing entirely on one side.
+    instrumented_rps = uninstrumented_rps = 0.0
+    try:
+        for _ in range(OVERHEAD_ROUNDS):
+            obs.set_enabled(True)
+            row = _measure_backend(registry_dir, n_shards, workload, "microbatch")
+            instrumented_rps = max(instrumented_rps, row["throughput_rps"])
+            obs.set_enabled(False)
+            row = _measure_backend(registry_dir, n_shards, workload, "microbatch")
+            uninstrumented_rps = max(uninstrumented_rps, row["throughput_rps"])
+    finally:
+        obs.set_enabled(True)
+    overhead_ratio = instrumented_rps / uninstrumented_rps
+    results["instrumentation_overhead"] = {
+        "bench": "serving",
+        "backend": "instrumentation_overhead",
+        "instrumented_rps": instrumented_rps,
+        "uninstrumented_rps": uninstrumented_rps,
+        "overhead_ratio": overhead_ratio,
+    }
+
     path = write_bench_json("serving", list(results.values()))
     print(f"\nwrote serving comparison to {path}")
     for backend, row in results.items():
+        if "throughput_rps" not in row:
+            continue
         print(
             f"{backend:<11} {row['throughput_rps']:>9,.0f} req/s "
             f"(mean batch {row['mean_batch_size']:.1f}, "
             f"cache {row['cache_hit_rate']:.0%})"
         )
+    print(
+        f"instrumentation overhead: {instrumented_rps:,.0f} instrumented vs "
+        f"{uninstrumented_rps:,.0f} uninstrumented req/s "
+        f"(ratio {overhead_ratio:.3f})"
+    )
 
     # Identical traffic, identical store: coalescing must win, and the
     # unbatched backend must genuinely not coalesce.
@@ -127,6 +164,11 @@ def test_microbatching_beats_unbatched(bench_json, serving_setup):
     assert results["microbatch"]["throughput_rps"] > results["unbatched"]["throughput_rps"]
     # The cache only absorbs traffic on the repeat-heavy workload.
     assert results["cached"]["cache_hit_rate"] > 0.3
+    # Bounded-overhead gate (both sides best-of-N, so the ratio is stable).
+    assert overhead_ratio >= 0.95, (
+        f"instrumentation costs more than 5% of serving throughput "
+        f"(ratio {overhead_ratio:.3f})"
+    )
 
 
 def test_bulk_path_beats_single_row(bench_json, serving_setup):

@@ -25,7 +25,15 @@ a few facade calls plus printing.  Eleven commands are provided:
 * ``predict`` — load a checkpointed model, look rows up in the shard store,
   and print predictions next to the stored labels (``open_service``);
 * ``serve`` — drive the micro-batched prediction service with a synthetic
-  closed-loop client swarm and report throughput / batching / cache stats.
+  closed-loop client swarm and report throughput / batching / cache stats;
+* ``obs`` — the observability group: ``obs dump`` runs a small encode +
+  train + scan exercise and dumps the recorded spans (native JSON or Chrome
+  ``chrome://tracing`` format), ``obs metrics`` prints the process metrics
+  snapshot the same exercise produces;
+* ``bench-report`` — ingest ``BENCH_*.json`` files into the SQLite run
+  registry, diff each against the most recent prior run on the same
+  platform, and (with ``--check``) exit non-zero on a regression beyond the
+  threshold — the CI perf gate.
 """
 
 from __future__ import annotations
@@ -442,7 +450,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             list(clients.map(service.predict_id, workload))
         wall = time.perf_counter() - start
 
-        stats, batcher, rows = service.stats, service.batcher_stats, store.stats
+        # One consistent copy under the service lock — the worker thread may
+        # still be counting the tail of the swarm while we print.
+        stats = service.stats.snapshot()
+        batcher, rows = service.batcher_stats, store.stats
         print(f"\nthroughput: {args.requests / wall:,.0f} requests/s ({wall:.3f}s wall)")
         print(
             f"latency:    {stats.mean_request_seconds * 1e6:,.0f} us mean "
@@ -459,6 +470,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{store.pool.stats.bytes_read_from_disk / 1e6:.2f} MB read through the pool"
         )
     return 0
+
+
+def _obs_exercise(rows: int) -> None:
+    """Populate spans/metrics with a real encode + train + scan workload.
+
+    Serial executors throughout, so every span lands in this process's
+    tracer (process-pool workers would record into their own).
+    """
+    import numpy as np
+
+    from repro.api import Estimator
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-") as tmp:
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(rows, 8))
+        features[rng.random(features.shape) < 0.6] = 0.0
+        labels = (features[:, 0] > 0).astype(np.float64)
+        dataset = Dataset.create(
+            f"{tmp}/shards",
+            features,
+            labels,
+            scheme="TOC",
+            batch_size=max(rows // 4, 1),
+            executor="serial",
+            seed=0,
+        )
+        estimator = Estimator("logreg", scheme="TOC", epochs=2, executor="serial")
+        estimator.fit(dataset)
+        dataset.scan(where="c0 >= 0", agg="count")
+
+
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    from repro.obs import default_tracer
+
+    _obs_exercise(args.rows)
+    tracer = default_tracer()
+    if args.format == "chrome":
+        text = tracer.dump_chrome(indent=2)
+    else:
+        text = tracer.dump(indent=2)
+    if args.output is not None:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {len(tracer)} spans ({args.format}) to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_obs_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import metrics_snapshot
+
+    _obs_exercise(args.rows)
+    print(json.dumps(metrics_snapshot(args.prefix), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.obs import bench_report
+
+    return bench_report(
+        args.paths or ["BENCH_*.json"],
+        db=args.db,
+        threshold=args.threshold,
+        check=args.check,
+    )
 
 
 def _add_encode_args(sub: argparse.ArgumentParser, default_dataset: str) -> None:
@@ -673,6 +753,68 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--clients", type=int, default=4, help="concurrent client threads")
     serve.add_argument("--seed", type=int, default=0, help="workload seed")
     serve.set_defaults(func=_cmd_serve)
+
+    obs = subparsers.add_parser(
+        "obs", help="observability: dump spans or print the metrics snapshot"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_dump = obs_sub.add_parser(
+        "dump",
+        help="run a small encode+train+scan exercise and dump the recorded spans",
+    )
+    obs_dump.add_argument(
+        "--format",
+        choices=("json", "chrome"),
+        default="json",
+        help='span dump format: "json" (native) or "chrome" (chrome://tracing)',
+    )
+    obs_dump.add_argument(
+        "--rows", type=int, default=400, help="rows in the exercise dataset"
+    )
+    obs_dump.add_argument(
+        "--output", default=None, help="write the dump here instead of stdout"
+    )
+    obs_dump.set_defaults(func=_cmd_obs_dump)
+
+    obs_metrics = obs_sub.add_parser(
+        "metrics",
+        help="run the same exercise and print the process metrics snapshot",
+    )
+    obs_metrics.add_argument(
+        "--rows", type=int, default=400, help="rows in the exercise dataset"
+    )
+    obs_metrics.add_argument(
+        "--prefix", default="", help="only metrics whose dotted name starts with this"
+    )
+    obs_metrics.set_defaults(func=_cmd_obs_metrics)
+
+    bench_report = subparsers.add_parser(
+        "bench-report",
+        help="ingest BENCH_*.json into the run registry and diff against history",
+    )
+    bench_report.add_argument(
+        "paths",
+        nargs="*",
+        help="BENCH json files or globs (default: ./BENCH_*.json)",
+    )
+    bench_report.add_argument(
+        "--db",
+        default="bench_registry.sqlite",
+        help="SQLite registry file (created on first use)",
+    )
+    bench_report.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative regression threshold (0.2 = 20%%)",
+    )
+    bench_report.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any direction-aware metric regresses",
+    )
+    bench_report.set_defaults(func=_cmd_bench_report)
     return parser
 
 

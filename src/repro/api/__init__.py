@@ -18,6 +18,11 @@ Four ideas cover everything a user does with the library:
 * the building blocks themselves (schemes, advisor, dataset profiles,
   metrics) re-exported so scripts and examples need exactly one import.
 
+Observability rides along: :func:`span` / :func:`metrics_snapshot` expose
+the live tracing/metrics substrate (:mod:`repro.obs`) the hot paths feed,
+and :class:`BenchRegistry` / :func:`bench_report` the persistent bench-run
+history behind ``repro bench-report``.
+
 Every future surface (CLI subcommands, async serving, new backends) binds
 to this package; ``repro.engine`` / ``repro.serve`` / ``repro.storage``
 remain importable for advanced use but are not needed day to day.
@@ -47,11 +52,13 @@ from repro.exec import (
     parse_predicate,
 )
 from repro.ml.metrics import accuracy, error_rate
+from repro.obs import BenchRegistry, bench_report, metrics_snapshot, span
 from repro.serve.checkpoint import Checkpoint, ModelRegistry
 from repro.serve.service import PredictionService
 
 __all__ = [
     "Aggregate",
+    "BenchRegistry",
     "Calibration",
     "Checkpoint",
     "CompactReport",
@@ -73,13 +80,16 @@ __all__ = [
     "__version__",
     "accuracy",
     "available_schemes",
+    "bench_report",
     "calibrate",
     "ensure_calibration",
     "error_rate",
     "generate_dataset",
     "get_scheme",
+    "metrics_snapshot",
     "open_service",
     "parse_aggregates",
     "parse_predicate",
     "recommend_scheme",
+    "span",
 ]

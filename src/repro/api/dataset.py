@@ -76,6 +76,9 @@ class DatasetStats:
     physical_bytes: int = 0
     dense_bytes: int = 0
     encode_seconds: float = 0.0
+    #: Process-global obs metrics snapshot; only populated by
+    #: ``Dataset.stats(metrics=True)``.
+    metrics: dict | None = None
 
     @property
     def compression_ratio(self) -> float:
@@ -88,7 +91,10 @@ class DatasetStats:
 
     def as_dict(self) -> dict:
         """JSON-ready form (benchmark records, CLI ``--json`` style output)."""
-        return {**asdict(self), "compression_ratio": self.compression_ratio}
+        data = {**asdict(self), "compression_ratio": self.compression_ratio}
+        if data.get("metrics") is None:
+            data.pop("metrics", None)
+        return data
 
 
 class Dataset:
@@ -338,8 +344,16 @@ class Dataset:
 
     # -- inspection ------------------------------------------------------------
 
-    def stats(self) -> DatasetStats:
-        """Sizes, compression ratio, and the per-shard scheme mix."""
+    def stats(self, *, metrics: bool = False) -> DatasetStats:
+        """Sizes, compression ratio, and the per-shard scheme mix.
+
+        With ``metrics=True`` the result also carries the process-global
+        observability snapshot (``repro.obs.metrics_snapshot()``) — encode,
+        train, scan, compaction, and buffer-pool counters accumulated so far
+        in this process, not scoped to this dataset alone.
+        """
+        from repro.obs import metrics_snapshot
+
         sharded = self._sharded
         n_cols = sharded.shards[0].n_cols if sharded.shards else 0
         return DatasetStats(
@@ -354,6 +368,7 @@ class Dataset:
             physical_bytes=sharded.physical_bytes(),
             dense_bytes=sharded.n_examples * n_cols * 8,
             encode_seconds=sharded.encode_seconds,
+            metrics=metrics_snapshot() if metrics else None,
         )
 
     @property

@@ -12,7 +12,6 @@ from __future__ import annotations
 import functools
 import json
 import os
-import platform
 import subprocess
 import time
 from dataclasses import asdict, dataclass
@@ -27,8 +26,12 @@ BENCH_JSON_DIR_ENV = "BENCH_JSON_DIR"
 
 #: Schema version stamped into every benchmark JSON file.
 #: v2 added ``git_commit`` so each file is an attributable point on the
-#: perf trajectory, not just a platform-stamped blob.
-BENCH_JSON_VERSION = 2
+#: perf trajectory, not just a platform-stamped blob.  v3 stamps the
+#: platform fingerprint from ``core/calibration.py`` (plus ``cpu_count``)
+#: and a ``platform_key`` so the bench run registry can group runs by
+#: machine class; v2 files remain ingestible (the registry derives the key
+#: from the old platform dict).
+BENCH_JSON_VERSION = 3
 
 
 @functools.lru_cache(maxsize=1)
@@ -119,19 +122,21 @@ def write_bench_json(
     fingerprint so accumulated files stay attributable and comparable across
     machines and commits.
     """
+    # Function-level imports: core.calibration imports this module at top
+    # level, and obs.registry is only needed when actually writing a file.
+    from repro.core.calibration import platform_fingerprint
+    from repro.obs.registry import platform_key
+
     path = bench_json_path(name, directory)
     path.parent.mkdir(parents=True, exist_ok=True)
+    fingerprint = {**platform_fingerprint(), "cpu_count": os.cpu_count()}
     payload = {
         "version": BENCH_JSON_VERSION,
         "name": name,
         "created_unix": time.time(),
         "git_commit": current_git_commit(),
-        "platform": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "cpu_count": os.cpu_count(),
-        },
+        "platform": fingerprint,
+        "platform_key": platform_key(fingerprint),
         "records": [asdict(r) if hasattr(r, "__dataclass_fields__") else dict(r) for r in records],
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))

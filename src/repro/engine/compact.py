@@ -35,6 +35,8 @@ from repro.compression.registry import get_scheme
 from repro.engine.encode import AUTO_SAMPLE_ROWS, advise_scheme
 from repro.engine.shards import LABELS_NAME, MANIFEST_NAME, ShardedDataset, shard_filename_stem
 from repro.exec import row_slice, supports_direct_ops
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 @dataclass(frozen=True)
@@ -150,37 +152,43 @@ def compact_dataset(
         readvised=readvise,
     )
     superseded: list[str] = []
-    if readvise:
-        for shard in list(dataset.shards):
-            matrix = dataset.decode(shard.batch_id)
-            winner = advise_scheme(
-                _sample_rows(matrix, shard.n_rows, sample_rows),
-                workload=workload,
-                calibration=calibration,
-            )
-            if winner == shard.scheme:
-                continue
-            # Full decode only for the shards actually being re-encoded.
-            payload = get_scheme(winner).compress(matrix.to_dense()).to_bytes()
-            updated = dataset.stage_shard(shard.batch_id, payload, winner)
-            superseded.append(shard.filename)
-            report.changes.append(
-                ShardChange(
-                    batch_id=shard.batch_id,
-                    scheme_before=shard.scheme,
-                    scheme_after=winner,
-                    nbytes_before=shard.nbytes,
-                    nbytes_after=updated.nbytes,
+    with obs_trace.span(
+        "engine.compact", n_shards=len(dataset.shards), readvise=readvise
+    ):
+        if readvise:
+            for shard in list(dataset.shards):
+                matrix = dataset.decode(shard.batch_id)
+                winner = advise_scheme(
+                    _sample_rows(matrix, shard.n_rows, sample_rows),
+                    workload=workload,
+                    calibration=calibration,
                 )
-            )
-    # One atomic manifest write publishes every staged shard (and, for a v1
-    # directory, upgrades the on-disk manifest to format v2).  Only after
-    # that swap are the superseded generation files garbage.
-    dataset.rewrite_manifest()
-    for filename in superseded:
-        (dataset.directory / filename).unlink(missing_ok=True)
+                if winner == shard.scheme:
+                    continue
+                # Full decode only for the shards actually being re-encoded.
+                payload = get_scheme(winner).compress(matrix.to_dense()).to_bytes()
+                updated = dataset.stage_shard(shard.batch_id, payload, winner)
+                superseded.append(shard.filename)
+                report.changes.append(
+                    ShardChange(
+                        batch_id=shard.batch_id,
+                        scheme_before=shard.scheme,
+                        scheme_after=winner,
+                        nbytes_before=shard.nbytes,
+                        nbytes_after=updated.nbytes,
+                    )
+                )
+        # One atomic manifest write publishes every staged shard (and, for a v1
+        # directory, upgrades the on-disk manifest to format v2).  Only after
+        # that swap are the superseded generation files garbage.
+        dataset.rewrite_manifest()
+        for filename in superseded:
+            (dataset.directory / filename).unlink(missing_ok=True)
     report.payload_bytes_after = dataset.total_payload_bytes()
     report.seconds = time.perf_counter() - start
+    obs_metrics.counter("engine.compact.passes").inc()
+    obs_metrics.counter("engine.compact.shards_examined").inc(report.examined)
+    obs_metrics.counter("engine.compact.shards_reencoded").inc(report.n_reencoded)
     return report
 
 

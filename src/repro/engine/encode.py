@@ -19,11 +19,15 @@ per shard in the manifest.
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: Valid values for the ``executor`` argument of :func:`encode_batches`.
 EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
@@ -40,13 +44,20 @@ AUTO_SAMPLE_ROWS = 100
 
 @dataclass(frozen=True)
 class EncodedBatch:
-    """One mini-batch after compression: id, payload bytes, scheme, shape."""
+    """One mini-batch after compression: id, payload bytes, scheme, shape.
+
+    ``seconds`` is the worker-side wall time of the compress — it rides in
+    the (picklable) result so per-batch timings survive the process-pool
+    boundary and feed the ``engine.encode.batch_seconds`` histogram in the
+    parent.
+    """
 
     batch_id: int
     payload: bytes
     n_rows: int
     n_cols: int
     scheme: str = "TOC"
+    seconds: float = 0.0
 
     @property
     def nbytes(self) -> int:
@@ -100,16 +111,20 @@ def _encode_one(task: tuple) -> EncodedBatch:
     from repro.compression.registry import get_scheme
 
     batch_id, features, scheme_name, workload, calibration = task
+    start = time.perf_counter()
     resolved = resolve_scheme_name(
         scheme_name, features, workload=workload, calibration=calibration
     )
-    compressed = get_scheme(resolved).compress(features)
+    with obs_trace.span("engine.encode.batch", shard=batch_id, scheme=resolved):
+        compressed = get_scheme(resolved).compress(features)
+        payload = compressed.to_bytes()
     return EncodedBatch(
         batch_id=batch_id,
-        payload=compressed.to_bytes(),
+        payload=payload,
         n_rows=int(features.shape[0]),
         n_cols=int(features.shape[1]),
         scheme=resolved,
+        seconds=time.perf_counter() - start,
     )
 
 
@@ -179,14 +194,22 @@ def encode_batches(
     if not tasks:
         raise ValueError("at least one mini-batch is required")
 
-    if kind == "serial" or n_workers == 1:
-        return [_encode_one(task) for task in tasks]
-
-    pool_cls = ProcessPoolExecutor if kind == "process" else ThreadPoolExecutor
-    chunksize = max(1, len(tasks) // (4 * n_workers)) if kind == "process" else 1
-    with pool_cls(max_workers=n_workers) as pool:
-        if kind == "process":
-            encoded = list(pool.map(_encode_one, tasks, chunksize=chunksize))
+    with obs_trace.span("engine.encode", n_batches=len(tasks), executor=kind):
+        if kind == "serial" or n_workers == 1:
+            encoded = [_encode_one(task) for task in tasks]
         else:
-            encoded = list(pool.map(_encode_one, tasks))
+            pool_cls = ProcessPoolExecutor if kind == "process" else ThreadPoolExecutor
+            chunksize = max(1, len(tasks) // (4 * n_workers)) if kind == "process" else 1
+            with pool_cls(max_workers=n_workers) as pool:
+                if kind == "process":
+                    encoded = list(pool.map(_encode_one, tasks, chunksize=chunksize))
+                else:
+                    encoded = list(pool.map(_encode_one, tasks))
+    # Worker-side timings feed the histogram here in the parent, so the
+    # numbers survive the process-pool boundary (workers have their own,
+    # unobserved, registry).
+    batch_hist = obs_metrics.histogram("engine.encode.batch_seconds")
+    obs_metrics.counter("engine.encode.batches").inc(len(encoded))
+    for enc in encoded:
+        batch_hist.observe(enc.seconds)
     return encoded

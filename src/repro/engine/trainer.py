@@ -11,6 +11,7 @@ prefetch (:mod:`repro.engine.prefetch`), and stepped through the existing
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -23,6 +24,8 @@ from repro.engine.encode import AUTO_SCHEME, resolve_executor, resolve_workers
 from repro.engine.prefetch import prefetch_iter
 from repro.engine.shards import ShardedDataset
 from repro.ml.optimizer import GradientDescentConfig, MiniBatchGradientDescent, TrainingHistory
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.storage.arena import ModelArena
 from repro.storage.bismarck import BismarckSession
 from repro.storage.buffer_pool import BufferPool, BufferPoolStats
@@ -165,10 +168,18 @@ class OutOfCoreTrainer:
     # -- training ----------------------------------------------------------------
 
     def _fetch(self, batch_id: int):
-        payload = self.pool.read(batch_id)
-        # Per-shard decode: the manifest names each shard's scheme, so mixed
-        # datasets stream through the same prefetch loop as uniform ones.
-        return self.dataset.decode(batch_id, payload), self.dataset.labels_for(batch_id)
+        # Runs in the prefetch reader thread; spans nest per thread, so these
+        # shard spans interleave cleanly with the main-thread train span.
+        start = time.perf_counter()
+        with obs_trace.span("engine.train.shard", shard=batch_id):
+            payload = self.pool.read(batch_id)
+            # Per-shard decode: the manifest names each shard's scheme, so mixed
+            # datasets stream through the same prefetch loop as uniform ones.
+            fetched = self.dataset.decode(batch_id, payload), self.dataset.labels_for(batch_id)
+        obs_metrics.histogram("engine.train.shard_seconds").observe(
+            time.perf_counter() - start
+        )
+        return fetched
 
     def train(self, model, eval_fn=None) -> OOCTrainReport:
         """Run the configured epochs, streaming shards with read-ahead."""
@@ -183,7 +194,14 @@ class OutOfCoreTrainer:
             return prefetch_iter(self._fetch, keys, depth=self.prefetch_depth)
 
         optimizer = MiniBatchGradientDescent(self.config)
-        history = optimizer.train_streaming(model, epoch_batches, eval_fn=eval_fn)
+        with obs_trace.span(
+            "engine.train", epochs=self.config.epochs, n_shards=len(dataset)
+        ):
+            history = optimizer.train_streaming(model, epoch_batches, eval_fn=eval_fn)
+        epoch_hist = obs_metrics.histogram("engine.train.epoch_seconds")
+        for epoch_seconds in history.epoch_times:
+            epoch_hist.observe(epoch_seconds)
+        obs_metrics.counter("engine.train.epochs").inc(len(history.epoch_times))
 
         io_checkpoints.append(pool.stats.simulated_io_seconds)
         return OOCTrainReport(

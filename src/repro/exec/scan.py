@@ -38,6 +38,8 @@ from repro.exec.predicates import (
     parse_aggregates,
     parse_predicate,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 #: Above this matched fraction of a shard, materialising a selection through
@@ -437,6 +439,32 @@ def scan_shards(
     through the buffer pool).  Selections honour ``limit`` with an early
     exit — once enough rows matched, remaining shards are never decoded.
     """
+    with obs_trace.span("exec.scan", pushdown=pushdown):
+        result = _scan_shards(
+            shard_stream,
+            columns=columns,
+            where=where,
+            agg=agg,
+            limit=limit,
+            pushdown=pushdown,
+        )
+    obs_metrics.counter("exec.scan.scans").inc()
+    obs_metrics.counter("exec.scan.shards_pushdown").inc(result.pushdown_shards)
+    obs_metrics.counter("exec.scan.shards_fallback").inc(result.fallback_shards)
+    obs_metrics.counter("exec.scan.rows_scanned").inc(result.n_rows_scanned)
+    obs_metrics.counter("exec.scan.rows_matched").inc(result.n_rows_matched)
+    return result
+
+
+def _scan_shards(
+    shard_stream,
+    *,
+    columns: Sequence[int] | None = None,
+    where: Predicate | str | None = None,
+    agg=None,
+    limit: int | None = None,
+    pushdown: bool = True,
+) -> ScanResult:
     predicate = parse_predicate(where) if where is not None else None
     aggregates = parse_aggregates(agg) if agg is not None else None
     if aggregates is not None:

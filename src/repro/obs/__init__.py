@@ -1,0 +1,81 @@
+"""``repro.obs``: one observability substrate for live metrics and history.
+
+Three pieces, one import point:
+
+* :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms on a
+  process-global registry, fed by the instrumented hot paths (serving,
+  buffer pool, encode, trainer, scan, compaction);
+* :mod:`repro.obs.trace` — ``with span("engine.encode.batch", shard=i):``
+  wall-time spans in a ring buffer, dumpable as Chrome trace JSON;
+* :mod:`repro.obs.registry` / :mod:`repro.obs.report` — a SQLite registry
+  of ``BENCH_*.json`` runs with direction-aware regression diffs behind
+  ``repro bench-report --check``.
+
+``set_enabled(False)`` turns both metrics and spans off in one call — the
+serving benchmark uses it to bound instrumentation overhead.
+"""
+
+from repro.obs import metrics as metrics
+from repro.obs import trace as trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+)
+from repro.obs.metrics import snapshot as metrics_snapshot
+from repro.obs.registry import (
+    BenchRegistry,
+    MetricDelta,
+    RunDiff,
+    RunInfo,
+    metric_direction,
+    platform_key,
+)
+from repro.obs.report import DEFAULT_THRESHOLD, bench_report
+from repro.obs.trace import Tracer, default_tracer, span, spans
+
+
+def set_enabled(enabled: bool) -> None:
+    """Enable/disable metrics *and* span recording process-wide."""
+    metrics.set_enabled(enabled)
+    trace.set_enabled(enabled)
+
+
+def reset() -> None:
+    """Zero the default metrics registry and drop recorded spans."""
+    metrics.reset()
+    trace.clear()
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "BenchRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricDelta",
+    "MetricsRegistry",
+    "RunDiff",
+    "RunInfo",
+    "Tracer",
+    "bench_report",
+    "counter",
+    "default_registry",
+    "default_tracer",
+    "gauge",
+    "histogram",
+    "metric_direction",
+    "metrics",
+    "metrics_snapshot",
+    "platform_key",
+    "reset",
+    "set_enabled",
+    "span",
+    "spans",
+    "trace",
+]

@@ -1,0 +1,343 @@
+"""SQLite registry of benchmark runs with direction-aware regression diffs.
+
+``BENCH_*.json`` snapshots are point-in-time: each CI run uploads them and
+nothing accumulates.  :class:`BenchRegistry` is the accumulator — every
+ingested file becomes a row in ``runs`` (name, timestamp, git commit,
+platform fingerprint) with its numeric metrics flattened into ``records``,
+and :meth:`BenchRegistry.diff` compares a run against the most recent prior
+run of the same benchmark *on the same platform* (grouping by
+:func:`platform_key`, derived from the fingerprint
+``core/calibration.py`` stamps).
+
+Regression detection is direction-aware by metric name: ``throughput_rps``
+going down is a regression, ``epoch_seconds`` going up is one, and metrics
+whose direction cannot be inferred (``n_rows``, ``batch_size``) are shown
+in the delta table but never fail the gate.  The threshold (default 20%)
+rides on top of that, so ordinary run-to-run noise passes while a real 25%
+throughput drop exits non-zero in ``repro bench-report --check``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump when the table shapes change; checked on open.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    name TEXT NOT NULL,
+    created_unix REAL NOT NULL,
+    recorded_unix REAL NOT NULL,
+    git_commit TEXT,
+    platform_key TEXT NOT NULL,
+    platform_json TEXT NOT NULL,
+    source_file TEXT,
+    schema_version INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_name_platform
+    ON runs (name, platform_key, created_unix);
+CREATE TABLE IF NOT EXISTS records (
+    run_id INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    metric TEXT NOT NULL,
+    value REAL NOT NULL,
+    PRIMARY KEY (run_id, metric)
+);
+"""
+
+#: Record fields whose values identify the row rather than measure it; the
+#: first ones present (in this order) become the metric-name prefix, so a
+#: BENCH_serving row ``{"backend": "microbatch", "throughput_rps": ...}``
+#: flattens to ``microbatch.throughput_rps``.
+ID_KEYS = ("bench", "backend", "scheme", "workload", "op", "test", "dataset", "name", "label")
+
+#: Name tokens implying "higher is better" / "lower is better".  A metric
+#: matching neither direction is reported but can never regress.
+_HIGHER_BETTER = {
+    "throughput", "rps", "qps", "ratio", "speedup", "rate", "accuracy", "hits",
+}
+_LOWER_BETTER = {
+    "seconds", "second", "ms", "us", "ns", "time", "bytes", "loss", "wall",
+    "latency", "error", "misses", "evictions", "overhead",
+}
+
+
+def platform_key(platform: dict | None) -> str:
+    """Stable grouping key for "same machine class" from a fingerprint dict.
+
+    Works for both the v3 fingerprint (``core/calibration.py`` shape) and
+    the legacy v2 platform dict — both carry system/machine/python.
+    """
+    platform = platform or {}
+    system = platform.get("system") or "unknown"
+    machine = platform.get("machine") or "unknown"
+    python = platform.get("python") or "0.0"
+    major_minor = ".".join(str(python).split(".")[:2])
+    return f"{system}-{machine}-py{major_minor}"
+
+
+def metric_direction(name: str) -> int:
+    """+1 if higher is better, -1 if lower is better, 0 if unknown."""
+    tokens = set(re.split(r"[^a-z0-9]+", name.lower()))
+    higher = bool(tokens & _HIGHER_BETTER)
+    lower = bool(tokens & _LOWER_BETTER)
+    if higher == lower:  # neither, or conflicting ("cache_hits_seconds")
+        return 0
+    return 1 if higher else -1
+
+
+def flatten_records(records: list[dict]) -> dict[str, float]:
+    """Numeric metrics from a BENCH file's record list, keyed uniquely.
+
+    Each record contributes its finite int/float fields (bools excluded),
+    prefixed by the record's identity (first :data:`ID_KEYS` fields present,
+    else its index).  Colliding names get the record index appended — a
+    registry row must never silently swallow a metric.
+    """
+    out: dict[str, float] = {}
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            continue
+        id_parts = [
+            str(record[key]) for key in ID_KEYS
+            if isinstance(record.get(key), (str, int)) and not isinstance(record.get(key), bool)
+        ]
+        prefix = ".".join(id_parts) if id_parts else f"record{index}"
+        for key, value in record.items():
+            if key in ID_KEYS:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if value != value or value in (float("inf"), float("-inf")):
+                continue
+            metric = f"{prefix}.{key}"
+            if metric in out:
+                metric = f"{prefix}[{index}].{key}"
+            out[metric] = float(value)
+    return out
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One registered benchmark run (a row of the ``runs`` table)."""
+
+    run_id: int
+    name: str
+    created_unix: float
+    git_commit: str | None
+    platform_key: str
+    source_file: str | None
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared between a run and its baseline."""
+
+    metric: str
+    baseline: float | None
+    current: float | None
+    direction: int  # +1 higher-better, -1 lower-better, 0 neutral
+
+    @property
+    def change(self) -> float | None:
+        """Relative change vs baseline (None when not comparable)."""
+        if self.baseline is None or self.current is None or self.baseline == 0:
+            return None
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def regressed(self, threshold: float) -> bool:
+        """True when the change moves against ``direction`` past ``threshold``."""
+        change = self.change
+        if change is None or self.direction == 0:
+            return False
+        return -change * self.direction > threshold
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """A run diffed against its most recent same-platform baseline."""
+
+    run: RunInfo
+    baseline: RunInfo | None
+    deltas: list[MetricDelta] = field(default_factory=list)
+
+    def regressions(self, threshold: float) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed(threshold)]
+
+
+class BenchRegistry:
+    """SQLite-backed accumulator of ``BENCH_*.json`` runs."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            self._conn.commit()
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise RuntimeError(
+                f"bench registry {self.path} has schema v{row[0]}, "
+                f"this build expects v{SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "BenchRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ingest ----------------------------------------------------------------
+
+    def record_payload(self, payload: dict, source_file: str | None = None) -> RunInfo:
+        """Register one parsed BENCH json payload; idempotent per run.
+
+        A run is identified by (name, created_unix, git_commit): re-ingesting
+        the same file (CI retries, local reruns) returns the existing row
+        instead of polluting the history with duplicates.
+        """
+        name = payload.get("name")
+        if not name:
+            raise ValueError("BENCH payload has no 'name'")
+        created = float(payload.get("created_unix") or 0.0)
+        commit = payload.get("git_commit")
+        platform = payload.get("platform") or {}
+        # v3 envelopes stamp the key directly; v2 files derive it here.
+        key = payload.get("platform_key") or platform_key(platform)
+        existing = self._conn.execute(
+            "SELECT id, name, created_unix, git_commit, platform_key, source_file"
+            " FROM runs WHERE name = ? AND created_unix = ? AND git_commit IS ?",
+            (name, created, commit),
+        ).fetchone()
+        if existing is not None:
+            return RunInfo(*existing)
+        metrics = flatten_records(payload.get("records") or [])
+        cursor = self._conn.execute(
+            "INSERT INTO runs (name, created_unix, recorded_unix, git_commit,"
+            " platform_key, platform_json, source_file, schema_version)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                name,
+                created,
+                time.time(),
+                commit,
+                key,
+                json.dumps(platform, sort_keys=True),
+                source_file,
+                int(payload.get("version") or 0),
+            ),
+        )
+        run_id = cursor.lastrowid
+        self._conn.executemany(
+            "INSERT INTO records (run_id, metric, value) VALUES (?, ?, ?)",
+            [(run_id, metric, value) for metric, value in metrics.items()],
+        )
+        self._conn.commit()
+        return RunInfo(run_id, name, created, commit, key, source_file)
+
+    def record_file(self, path: str | Path) -> RunInfo:
+        """Ingest one ``BENCH_*.json`` file (v2 and v3 envelopes accepted)."""
+        path = Path(path)
+        payload = json.loads(path.read_text())
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path} is not a BENCH json envelope")
+        return self.record_payload(payload, source_file=str(path))
+
+    # -- queries ---------------------------------------------------------------
+
+    def runs(self, name: str | None = None) -> list[RunInfo]:
+        """Registered runs, oldest first (optionally one benchmark only)."""
+        sql = (
+            "SELECT id, name, created_unix, git_commit, platform_key, source_file"
+            " FROM runs"
+        )
+        params: tuple = ()
+        if name is not None:
+            sql += " WHERE name = ?"
+            params = (name,)
+        sql += " ORDER BY created_unix, id"
+        return [RunInfo(*row) for row in self._conn.execute(sql, params)]
+
+    def metrics_for(self, run_id: int) -> dict[str, float]:
+        return {
+            metric: value
+            for metric, value in self._conn.execute(
+                "SELECT metric, value FROM records WHERE run_id = ? ORDER BY metric",
+                (run_id,),
+            )
+        }
+
+    def baseline_for(self, run_id: int) -> RunInfo | None:
+        """Most recent earlier run of the same benchmark on the same platform."""
+        run = self._conn.execute(
+            "SELECT name, platform_key, created_unix, id FROM runs WHERE id = ?",
+            (run_id,),
+        ).fetchone()
+        if run is None:
+            raise KeyError(f"no run with id {run_id}")
+        name, key, created, _ = run
+        row = self._conn.execute(
+            "SELECT id, name, created_unix, git_commit, platform_key, source_file"
+            " FROM runs WHERE name = ? AND platform_key = ?"
+            " AND (created_unix < ? OR (created_unix = ? AND id < ?))"
+            " ORDER BY created_unix DESC, id DESC LIMIT 1",
+            (name, key, created, created, run_id),
+        ).fetchone()
+        return RunInfo(*row) if row is not None else None
+
+    def diff(self, run_id: int) -> RunDiff:
+        """Compare ``run_id`` against its baseline, metric by metric."""
+        rows = self._conn.execute(
+            "SELECT id, name, created_unix, git_commit, platform_key, source_file"
+            " FROM runs WHERE id = ?",
+            (run_id,),
+        ).fetchone()
+        if rows is None:
+            raise KeyError(f"no run with id {run_id}")
+        run = RunInfo(*rows)
+        baseline = self.baseline_for(run_id)
+        current = self.metrics_for(run_id)
+        previous = self.metrics_for(baseline.run_id) if baseline else {}
+        deltas = [
+            MetricDelta(
+                metric=metric,
+                baseline=previous.get(metric),
+                current=current.get(metric),
+                direction=metric_direction(metric),
+            )
+            for metric in sorted(set(current) | set(previous))
+        ]
+        return RunDiff(run=run, baseline=baseline, deltas=deltas)
+
+
+__all__ = [
+    "ID_KEYS",
+    "SCHEMA_VERSION",
+    "BenchRegistry",
+    "MetricDelta",
+    "RunDiff",
+    "RunInfo",
+    "flatten_records",
+    "metric_direction",
+    "platform_key",
+]

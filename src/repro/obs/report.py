@@ -1,0 +1,115 @@
+"""``repro bench-report``: ingest BENCH files, diff vs history, gate.
+
+This is the CLI/CI entry point over :class:`repro.obs.registry.BenchRegistry`:
+each ``BENCH_*.json`` is recorded into the SQLite registry, diffed against
+the most recent prior run of the same benchmark on the same platform, and
+printed as a delta table.  With ``check=True`` any direction-aware metric
+that regresses past the threshold (default 20%) makes the exit code 1, so
+CI can fail the build on a real perf drop while first-ever runs (no
+baseline yet) always pass.
+"""
+
+from __future__ import annotations
+
+import glob
+from pathlib import Path
+
+from repro.obs.registry import BenchRegistry, RunDiff
+
+#: Default relative regression threshold (0.2 == 20%).
+DEFAULT_THRESHOLD = 0.2
+
+_ARROWS = {1: "↑good", -1: "↓good", 0: ""}
+
+
+def _format_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def format_diff(diff: RunDiff, threshold: float) -> list[str]:
+    """The delta table for one run as printable lines."""
+    run = diff.run
+    header = f"== {run.name} (run {run.run_id}, {run.platform_key}"
+    if run.git_commit:
+        header += f", {run.git_commit[:12]}"
+    header += ")"
+    lines = [header]
+    if diff.baseline is None:
+        lines.append("   no prior run on this platform — baseline recorded")
+        return lines
+    base = diff.baseline
+    base_commit = f", {base.git_commit[:12]}" if base.git_commit else ""
+    lines.append(f"   baseline: run {base.run_id}{base_commit}")
+    width = max((len(d.metric) for d in diff.deltas), default=6)
+    lines.append(f"   {'metric'.ljust(width)}  {'baseline':>12}  {'current':>12}  {'change':>8}")
+    for delta in diff.deltas:
+        change = delta.change
+        change_text = f"{change:+.1%}" if change is not None else "-"
+        flag = ""
+        if delta.regressed(threshold):
+            flag = "  REGRESSION"
+        elif delta.direction:
+            flag = f"  [{_ARROWS[delta.direction]}]"
+        lines.append(
+            f"   {delta.metric.ljust(width)}  {_format_value(delta.baseline):>12}"
+            f"  {_format_value(delta.current):>12}  {change_text:>8}{flag}"
+        )
+    return lines
+
+
+def bench_report(
+    paths: list[str],
+    *,
+    db: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    check: bool = False,
+    echo=print,
+) -> int:
+    """Record ``paths`` (files or globs) into ``db`` and print delta tables.
+
+    Returns the process exit code: 0 on success, 1 when ``check`` is set and
+    any metric regressed beyond ``threshold``, 2 on usage errors (no files
+    matched, unreadable file).
+    """
+    files: list[Path] = []
+    for pattern in paths:
+        path = Path(pattern)
+        if path.is_file():
+            files.append(path)
+        else:
+            files.extend(Path(p) for p in sorted(glob.glob(pattern)))
+    if not files:
+        echo(f"bench-report: no BENCH files matched {paths!r}")
+        return 2
+
+    exit_code = 0
+    with BenchRegistry(db) as registry:
+        for path in files:
+            try:
+                run = registry.record_file(path)
+            except (ValueError, OSError) as exc:
+                echo(f"bench-report: cannot ingest {path}: {exc}")
+                return 2
+            diff = registry.diff(run.run_id)
+            for line in format_diff(diff, threshold):
+                echo(line)
+            regressions = diff.regressions(threshold)
+            if regressions:
+                echo(
+                    f"   {len(regressions)} metric(s) regressed beyond "
+                    f"{threshold:.0%} in {run.name}"
+                )
+                if check:
+                    exit_code = 1
+        total = len(registry.runs())
+    echo(f"bench-report: {len(files)} file(s) ingested, {total} run(s) in {db}")
+    if check and exit_code:
+        echo("bench-report: FAILED regression gate")
+    return exit_code
+
+
+__all__ = ["DEFAULT_THRESHOLD", "bench_report", "format_diff"]

@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future
 from dataclasses import dataclass
+
+from repro.obs import metrics as obs_metrics
 
 #: Shutdown marker pushed by :meth:`MicroBatcher.close`.
 _SENTINEL = object()
@@ -55,6 +58,13 @@ class MicroBatcher:
         handler), and no request ever waits idle.  A positive linger trades
         latency for bigger batches, which only pays when one handler call is
         expensive relative to the linger (cold decodes, big models).
+    metrics_labels:
+        When given, the batcher also feeds two process-global histograms
+        with these labels: ``serve.batch.size`` (one observation per
+        dispatched batch) and ``serve.queue.wait_seconds`` (the *longest*
+        submit-to-dispatch wait in each batch — one observation per batch,
+        not per request, keeping the hot-path overhead bounded while still
+        capturing the tail a latency SLO cares about).
     """
 
     def __init__(
@@ -63,6 +73,7 @@ class MicroBatcher:
         *,
         max_batch_size: int = 32,
         max_wait_seconds: float = 0.0,
+        metrics_labels: dict | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
@@ -72,6 +83,14 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_seconds
         self.stats = MicroBatcherStats()
+        self._batch_size_hist = self._wait_hist = None
+        if metrics_labels is not None:
+            self._batch_size_hist = obs_metrics.histogram(
+                "serve.batch.size", **metrics_labels
+            )
+            self._wait_hist = obs_metrics.histogram(
+                "serve.queue.wait_seconds", **metrics_labels
+            )
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
         # Makes "closed-check + put" atomic against close(): without it a
@@ -89,7 +108,7 @@ class MicroBatcher:
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("batcher is closed")
-            self._queue.put((request, future))
+            self._queue.put((request, future, time.perf_counter()))
         return future
 
     def __call__(self, request):
@@ -114,8 +133,6 @@ class MicroBatcher:
     # -- worker side ----------------------------------------------------------
 
     def _run(self) -> None:
-        import time
-
         while True:
             item = self._queue.get()
             if item is _SENTINEL:
@@ -160,10 +177,14 @@ class MicroBatcher:
             self._dispatch(batch)
 
     def _dispatch(self, batch: list) -> None:
-        inputs = [request for request, _ in batch]
+        inputs = [request for request, _, _ in batch]
         self.stats.requests += len(batch)
         self.stats.batches += 1
         self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        if self._batch_size_hist is not None:
+            self._batch_size_hist.observe(len(batch))
+            # The batch's first entry queued earliest, so its wait is the max.
+            self._wait_hist.observe(time.perf_counter() - batch[0][2])
         try:
             outputs = self.handler(inputs)
             if len(outputs) != len(batch):
@@ -171,8 +192,8 @@ class MicroBatcher:
                     f"handler returned {len(outputs)} outputs for {len(batch)} requests"
                 )
         except BaseException as exc:  # propagate to every blocked caller
-            for _, future in batch:
+            for _, future, _ in batch:
                 future.set_exception(exc)
             return
-        for (_, future), output in zip(batch, outputs):
+        for (_, future, _), output in zip(batch, outputs):
             future.set_result(output)

@@ -12,6 +12,7 @@ was answered.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections.abc import Iterable
@@ -20,15 +21,26 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
 from repro.serve.batcher import MicroBatcher
 from repro.serve.checkpoint import Checkpoint, ModelRegistry
 from repro.serve.feature_store import FeatureStore
 from repro.serve.lru import LRUCache
 
+#: Distinguishes each service instance's metrics in the process registry
+#: (label ``svc=<n>``), so two services never share counters.
+_SVC_IDS = itertools.count()
 
-@dataclass
-class ServiceStats:
-    """Request-level counters for a :class:`PredictionService`."""
+
+@dataclass(frozen=True)
+class ServiceStatsSnapshot:
+    """A consistent point-in-time copy of a service's request counters.
+
+    Taken under the service lock (:meth:`ServiceStats.snapshot`), so the
+    fields are mutually consistent — ``requests`` counted at the same
+    instant as ``request_seconds`` — unlike reading the live attributes
+    one by one while the worker keeps writing.
+    """
 
     requests: int = 0
     rows_predicted: int = 0
@@ -49,6 +61,98 @@ class ServiceStats:
     @property
     def predicted_rows_per_second(self) -> float:
         return self.rows_predicted / self.predict_seconds if self.predict_seconds else 0.0
+
+
+class ServiceStats:
+    """Request-level counters for a :class:`PredictionService`.
+
+    Since the obs migration this is a *view* over ``serve.*`` metrics in the
+    process-global registry (labelled per service instance), not standalone
+    storage: the same numbers appear in ``repro.obs.metrics_snapshot()`` and
+    ``service.metrics()``.  The attribute API (``stats.requests``,
+    ``stats.cache_hit_rate``, ...) is unchanged; for multi-field reads use
+    :meth:`snapshot`, which copies everything under one lock.
+
+    All metrics share the service's re-entrant lock, so a snapshot can never
+    observe a half-applied multi-counter update.
+    """
+
+    def __init__(self, lock: threading.RLock, svc: int):
+        registry = obs_metrics.default_registry()
+        self._lock = lock
+        self._requests = registry.counter("serve.requests", lock=lock, svc=svc)
+        self._rows = registry.counter("serve.rows_predicted", lock=lock, svc=svc)
+        self._cache_hits = registry.counter("serve.cache.hits", lock=lock, svc=svc)
+        self._cache_misses = registry.counter("serve.cache.misses", lock=lock, svc=svc)
+        self._predict = registry.histogram("serve.predict.seconds", lock=lock, svc=svc)
+        self._request = registry.histogram("serve.request.seconds", lock=lock, svc=svc)
+
+    # -- live attribute API (unchanged shape) ----------------------------------
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def rows_predicted(self) -> int:
+        return self._rows.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_misses.value
+
+    @property
+    def predict_seconds(self) -> float:
+        return self._predict.sum
+
+    @property
+    def request_seconds(self) -> float:
+        return self._request.sum
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.snapshot().cache_hit_rate
+
+    @property
+    def mean_request_seconds(self) -> float:
+        return self.snapshot().mean_request_seconds
+
+    @property
+    def predicted_rows_per_second(self) -> float:
+        return self.snapshot().predicted_rows_per_second
+
+    def snapshot(self) -> ServiceStatsSnapshot:
+        """All counters copied atomically under the service lock."""
+        with self._lock:
+            return ServiceStatsSnapshot(
+                requests=self._requests.value,
+                rows_predicted=self._rows.value,
+                cache_hits=self._cache_hits.value,
+                cache_misses=self._cache_misses.value,
+                predict_seconds=self._predict.sum,
+                request_seconds=self._request.sum,
+            )
+
+    # -- mutators (service-internal; the caller holds the service lock, which
+    # is every metric's lock too, so the `_locked` fast paths apply) -----------
+
+    def record_request(self, seconds: float) -> None:
+        self._requests.inc_locked()
+        self._request.observe_locked(seconds)
+
+    def record_predict(self, rows: int, seconds: float) -> None:
+        self._rows.inc_locked(rows)
+        self._predict.observe_locked(seconds)
+
+    def record_cache_hit(self) -> None:
+        self._cache_hits.inc_locked()
+
+    def record_cache_miss(self) -> None:
+        self._cache_misses.inc_locked()
 
 
 class PredictionService:
@@ -81,13 +185,17 @@ class PredictionService:
         self.model = model
         self.store = store
         self.cache_size = cache_size
-        self.stats = ServiceStats()
+        self._svc_id = next(_SVC_IDS)
+        # Re-entrant: the metrics share this lock, so a stats mutator called
+        # while the service already holds it must be able to re-acquire.
+        self._lock = threading.RLock()  # guards stats only; the caches self-lock
+        self.stats = ServiceStats(self._lock, self._svc_id)
         self._cache: LRUCache | None = LRUCache(cache_size) if cache_size else None
-        self._lock = threading.Lock()  # guards stats only; the caches self-lock
         self._batcher = MicroBatcher(
             self._handle_batch,
             max_batch_size=max_batch_size,
             max_wait_seconds=max_wait_seconds,
+            metrics_labels={"svc": self._svc_id},
         )
 
     @classmethod
@@ -132,8 +240,7 @@ class PredictionService:
         start = time.perf_counter()
         predictions = np.asarray(self.model.predict(matrix), dtype=np.float64)
         with self._lock:
-            self.stats.predict_seconds += time.perf_counter() - start
-            self.stats.rows_predicted += len(requests)
+            self.stats.record_predict(len(requests), time.perf_counter() - start)
         return [float(p) for p in predictions]
 
     def _n_features(self) -> int:
@@ -154,17 +261,15 @@ class PredictionService:
             value = self._cache.get(row_id)
             with self._lock:
                 if value is not None:
-                    self.stats.cache_hits += 1
-                    self.stats.requests += 1
-                    self.stats.request_seconds += time.perf_counter() - start
+                    self.stats.record_cache_hit()
+                    self.stats.record_request(time.perf_counter() - start)
                     return value
-                self.stats.cache_misses += 1
+                self.stats.record_cache_miss()
         value = self._batcher.submit(("id", row_id)).result()
         if self._cache is not None:
             self._cache.put(row_id, value)
         with self._lock:
-            self.stats.requests += 1
-            self.stats.request_seconds += time.perf_counter() - start
+            self.stats.record_request(time.perf_counter() - start)
         return value
 
     def predict_vector(self, features: np.ndarray) -> float:
@@ -173,8 +278,7 @@ class PredictionService:
         vector = np.asarray(features, dtype=np.float64).ravel()
         value = self._batcher.submit(("vec", vector)).result()
         with self._lock:
-            self.stats.requests += 1
-            self.stats.request_seconds += time.perf_counter() - start
+            self.stats.record_request(time.perf_counter() - start)
         return value
 
     # -- bulk API --------------------------------------------------------------
@@ -189,10 +293,8 @@ class PredictionService:
         predictions = np.asarray(self.model.predict(matrix), dtype=np.float64)
         elapsed = time.perf_counter() - start
         with self._lock:
-            self.stats.requests += 1
-            self.stats.rows_predicted += len(ids)
-            self.stats.predict_seconds += elapsed
-            self.stats.request_seconds += elapsed
+            self.stats.record_predict(len(ids), elapsed)
+            self.stats.record_request(elapsed)
         return predictions
 
     def predict_matrix(self, features: np.ndarray) -> np.ndarray:
@@ -202,13 +304,23 @@ class PredictionService:
         predictions = np.asarray(self.model.predict(matrix), dtype=np.float64)
         elapsed = time.perf_counter() - start
         with self._lock:
-            self.stats.requests += 1
-            self.stats.rows_predicted += matrix.shape[0]
-            self.stats.predict_seconds += elapsed
-            self.stats.request_seconds += elapsed
+            self.stats.record_predict(matrix.shape[0], elapsed)
+            self.stats.record_request(elapsed)
         return predictions
 
     # -- lifecycle -------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """This instance's ``serve.*`` metrics as a plain dict.
+
+        Keys are the bare metric names (``serve.requests``,
+        ``serve.queue.wait_seconds``, ...) — the per-instance ``svc`` label
+        used in the process-global registry is filtered on and stripped.
+        """
+        with self._lock:
+            return obs_metrics.snapshot(
+                "serve.", labels={"svc": self._svc_id}, strip_labels=True
+            )
 
     @property
     def batcher_stats(self):

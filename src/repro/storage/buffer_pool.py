@@ -21,13 +21,23 @@ A :class:`DiskBlob` is a handle to a payload that truly lives on disk — the
 out-of-core engine registers one per shard file — and is only loaded into
 memory when admitted to the cache, so the pool's byte budget genuinely bounds
 resident memory.
+
+Each pool keeps its own :class:`BufferPoolStats` *and* mirrors the traffic
+into process-global ``storage.pool.*`` metrics (hits, misses, evictions,
+bytes read, and a ``bytes_resident`` gauge), so ``repro.obs`` snapshots see
+pool behaviour without holding a pool reference.  An internal re-entrant
+lock makes ``read``/``put_on_disk`` safe under concurrent callers (the
+trainer's prefetch thread and the feature store race through here).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass, field
+
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass(frozen=True)
@@ -86,6 +96,14 @@ class BufferPool:
         self._cache: OrderedDict[int, int] = OrderedDict()  # key -> size
         self._resident: dict[int, bytes] = {}  # cached payloads of DiskBlob entries
         self._cached_bytes = 0
+        # Re-entrant: loaders registered via put_on_disk may themselves be
+        # pool-adjacent; RLock keeps an accidental nested read from deadlocking.
+        self._lock = threading.RLock()
+        self._m_hits = obs_metrics.counter("storage.pool.hits")
+        self._m_misses = obs_metrics.counter("storage.pool.misses")
+        self._m_evictions = obs_metrics.counter("storage.pool.evictions")
+        self._m_disk_bytes = obs_metrics.counter("storage.pool.bytes_read_from_disk")
+        self._m_resident = obs_metrics.gauge("storage.pool.bytes_resident")
 
     # -- population -----------------------------------------------------------
 
@@ -113,11 +131,14 @@ class BufferPool:
             if size < 0:
                 raise ValueError("size must be non-negative")
             entry = DiskBlob(size=int(size), loader=loader)
-        # Re-registration replaces the payload, so any cached copy is stale.
-        if key in self._cache:
-            self._cached_bytes -= self._cache.pop(key)
-            self._resident.pop(key, None)
-        self._store[key] = entry
+        with self._lock:
+            # Re-registration replaces the payload, so any cached copy is stale.
+            if key in self._cache:
+                dropped = self._cache.pop(key)
+                self._cached_bytes -= dropped
+                self._m_resident.dec(dropped)
+                self._resident.pop(key, None)
+            self._store[key] = entry
 
     def __contains__(self, key: int) -> bool:
         return key in self._store
@@ -129,26 +150,31 @@ class BufferPool:
     @property
     def resident_keys(self) -> list[int]:
         """Keys currently cached in memory (LRU order, oldest first)."""
-        return list(self._cache)
+        with self._lock:
+            return list(self._cache)
 
     # -- access ---------------------------------------------------------------
 
     def read(self, key: int) -> bytes:
         """Read a batch, going through the cache and charging IO on a miss."""
-        if key not in self._store:
-            raise KeyError(f"batch {key} was never stored")
-        entry = self._store[key]
-        if key in self._cache:
-            self.stats.hits += 1
-            self._cache.move_to_end(key)
-            return self._resident[key] if isinstance(entry, DiskBlob) else entry
-        # Miss: charge simulated disk IO, then admit to the cache.
-        payload = entry.loader() if isinstance(entry, DiskBlob) else entry
-        self.stats.misses += 1
-        self.stats.bytes_read_from_disk += len(payload)
-        self.stats.simulated_io_seconds += len(payload) / self.disk_bandwidth_bytes_per_sec
-        self._admit(key, payload, keep_resident=isinstance(entry, DiskBlob))
-        return payload
+        with self._lock:
+            if key not in self._store:
+                raise KeyError(f"batch {key} was never stored")
+            entry = self._store[key]
+            if key in self._cache:
+                self.stats.hits += 1
+                self._m_hits.inc()
+                self._cache.move_to_end(key)
+                return self._resident[key] if isinstance(entry, DiskBlob) else entry
+            # Miss: charge simulated disk IO, then admit to the cache.
+            payload = entry.loader() if isinstance(entry, DiskBlob) else entry
+            self.stats.misses += 1
+            self.stats.bytes_read_from_disk += len(payload)
+            self.stats.simulated_io_seconds += len(payload) / self.disk_bandwidth_bytes_per_sec
+            self._m_misses.inc()
+            self._m_disk_bytes.inc(len(payload))
+            self._admit(key, payload, keep_resident=isinstance(entry, DiskBlob))
+            return payload
 
     def _admit(self, key: int, payload: bytes, keep_resident: bool) -> None:
         size = len(payload)
@@ -160,8 +186,11 @@ class BufferPool:
             self._cached_bytes -= evicted_size
             self._resident.pop(evicted_key, None)
             self.stats.evictions += 1
+            self._m_evictions.inc()
+            self._m_resident.dec(evicted_size)
         self._cache[key] = size
         self._cached_bytes += size
+        self._m_resident.inc(size)
         if keep_resident:
             self._resident[key] = payload
 

@@ -1,0 +1,230 @@
+"""Tests for the SQLite bench run registry and its diff machinery."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.obs.registry import (
+    BenchRegistry,
+    MetricDelta,
+    flatten_records,
+    metric_direction,
+    platform_key,
+)
+
+V3_PLATFORM = {
+    "system": "Linux",
+    "machine": "x86_64",
+    "python": "3.11.8",
+    "processor": "x86_64",
+    "cpu_count": 8,
+}
+
+
+def payload(
+    name="serving",
+    created=1000.0,
+    commit="abc123",
+    records=None,
+    *,
+    version=3,
+    platform=None,
+    stamp_key=True,
+):
+    """A minimal BENCH envelope (v3 by default, v2 when ``stamp_key=False``)."""
+    platform = V3_PLATFORM if platform is None else platform
+    out = {
+        "version": version,
+        "name": name,
+        "created_unix": created,
+        "git_commit": commit,
+        "platform": platform,
+        "records": records if records is not None else [{"bench": name, "throughput_rps": 100.0}],
+    }
+    if stamp_key:
+        out["platform_key"] = platform_key(platform)
+    return out
+
+
+class TestPlatformKey:
+    def test_v3_fingerprint(self):
+        assert platform_key(V3_PLATFORM) == "Linux-x86_64-py3.11"
+
+    def test_v2_platform_dict(self):
+        legacy = {"system": "Darwin", "machine": "arm64", "python": "3.10.2"}
+        assert platform_key(legacy) == "Darwin-arm64-py3.10"
+
+    def test_missing_fields_degrade_gracefully(self):
+        assert platform_key(None) == "unknown-unknown-py0.0"
+        assert platform_key({"system": "Linux"}) == "Linux-unknown-py0.0"
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name", ["microbatch.throughput_rps", "scan.speedup", "cache.hit_rate", "accuracy"]
+    )
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == 1
+
+    @pytest.mark.parametrize(
+        "name", ["epoch_seconds", "serving.wall_seconds", "p99_latency", "pool.evictions"]
+    )
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == -1
+
+    @pytest.mark.parametrize("name", ["n_rows", "batch_size", "clients"])
+    def test_unknown_is_neutral(self, name):
+        assert metric_direction(name) == 0
+
+    def test_conflicting_tokens_are_neutral(self):
+        # "hits" says higher, "seconds" says lower: refuse to guess.
+        assert metric_direction("cache_hits_seconds") == 0
+        # The serving bench's overhead_ratio carries both too, deliberately.
+        assert metric_direction("overhead_ratio") == 0
+
+
+class TestFlattenRecords:
+    def test_id_keys_become_the_prefix(self):
+        flat = flatten_records(
+            [{"bench": "serving", "backend": "cached", "throughput_rps": 5.0}]
+        )
+        assert flat == {"serving.cached.throughput_rps": 5.0}
+
+    def test_record_without_id_keys_uses_its_index(self):
+        flat = flatten_records([{"throughput_rps": 5.0}])
+        assert flat == {"record0.throughput_rps": 5.0}
+
+    def test_bools_nan_inf_and_strings_skipped(self):
+        flat = flatten_records(
+            [{"bench": "x", "ok": True, "bad": float("nan"),
+              "worse": float("inf"), "note": "hi", "value": 3}]
+        )
+        assert flat == {"x.value": 3.0}
+
+    def test_colliding_names_get_the_index(self):
+        flat = flatten_records(
+            [{"bench": "x", "value": 1.0}, {"bench": "x", "value": 2.0}]
+        )
+        assert flat == {"x.value": 1.0, "x[1].value": 2.0}
+
+    def test_non_dict_records_ignored(self):
+        assert flatten_records([None, 42, {"bench": "x", "value": 1}]) == {"x.value": 1.0}
+
+
+class TestMetricDelta:
+    def test_change_is_relative(self):
+        delta = MetricDelta("m", baseline=100.0, current=75.0, direction=1)
+        assert delta.change == pytest.approx(-0.25)
+
+    def test_change_none_when_not_comparable(self):
+        assert MetricDelta("m", None, 5.0, 1).change is None
+        assert MetricDelta("m", 5.0, None, 1).change is None
+        assert MetricDelta("m", 0.0, 5.0, 1).change is None
+
+    def test_regression_is_direction_aware(self):
+        drop = MetricDelta("throughput", 100.0, 75.0, direction=1)
+        assert drop.regressed(0.2)
+        assert not drop.regressed(0.3)
+        rise = MetricDelta("seconds", 1.0, 1.25, direction=-1)
+        assert rise.regressed(0.2)
+        # Improvements never regress.
+        assert not MetricDelta("throughput", 100.0, 200.0, 1).regressed(0.2)
+        assert not MetricDelta("seconds", 1.0, 0.5, -1).regressed(0.2)
+
+    def test_neutral_never_regresses(self):
+        assert not MetricDelta("n_rows", 100.0, 1.0, direction=0).regressed(0.2)
+
+
+class TestBenchRegistry:
+    def test_ingest_and_read_back(self, tmp_path):
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            run = registry.record_payload(payload())
+            assert run.name == "serving"
+            assert run.platform_key == "Linux-x86_64-py3.11"
+            assert registry.metrics_for(run.run_id) == {"serving.throughput_rps": 100.0}
+
+    def test_reingest_is_idempotent(self, tmp_path):
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            first = registry.record_payload(payload())
+            second = registry.record_payload(payload())
+            assert first.run_id == second.run_id
+            assert len(registry.runs()) == 1
+
+    def test_record_file_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        path.write_text(json.dumps(payload()))
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            run = registry.record_file(path)
+            assert run.source_file == str(path)
+
+    def test_v2_envelope_derives_its_platform_key(self, tmp_path):
+        legacy = payload(
+            version=2,
+            platform={"system": "Linux", "machine": "x86_64", "python": "3.11.8"},
+            stamp_key=False,
+        )
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            run = registry.record_payload(legacy)
+            assert run.platform_key == "Linux-x86_64-py3.11"
+
+    def test_baseline_is_most_recent_same_platform(self, tmp_path):
+        other = {**V3_PLATFORM, "machine": "arm64"}
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            old = registry.record_payload(payload(created=1000.0, commit="a"))
+            mid = registry.record_payload(payload(created=2000.0, commit="b"))
+            registry.record_payload(payload(created=2500.0, commit="c", platform=other))
+            new = registry.record_payload(payload(created=3000.0, commit="d"))
+            assert registry.baseline_for(new.run_id).run_id == mid.run_id
+            assert registry.baseline_for(mid.run_id).run_id == old.run_id
+            assert registry.baseline_for(old.run_id) is None
+
+    def test_other_benchmark_names_do_not_baseline(self, tmp_path):
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            registry.record_payload(payload(name="scan", created=1000.0))
+            run = registry.record_payload(payload(name="serving", created=2000.0))
+            assert registry.baseline_for(run.run_id) is None
+
+    def test_diff_covers_both_metric_sets(self, tmp_path):
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            registry.record_payload(
+                payload(created=1000.0, commit="a",
+                        records=[{"bench": "s", "throughput_rps": 100.0, "old_only": 1.0}])
+            )
+            run = registry.record_payload(
+                payload(created=2000.0, commit="b",
+                        records=[{"bench": "s", "throughput_rps": 70.0, "new_only": 2.0}])
+            )
+            diff = registry.diff(run.run_id)
+            by_name = {delta.metric: delta for delta in diff.deltas}
+            assert by_name["s.throughput_rps"].change == pytest.approx(-0.3)
+            assert by_name["s.old_only"].current is None
+            assert by_name["s.new_only"].baseline is None
+            assert [d.metric for d in diff.regressions(0.2)] == ["s.throughput_rps"]
+
+    def test_payload_without_name_rejected(self, tmp_path):
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            with pytest.raises(ValueError):
+                registry.record_payload({"records": []})
+
+    def test_unknown_run_id_rejected(self, tmp_path):
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            with pytest.raises(KeyError):
+                registry.diff(99)
+
+    def test_registry_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "reg.sqlite"
+        with BenchRegistry(path) as registry:
+            registry.record_payload(payload())
+        with BenchRegistry(path) as registry:
+            assert len(registry.runs("serving")) == 1
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "reg.sqlite"
+        BenchRegistry(path).close()
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+        with pytest.raises(RuntimeError):
+            BenchRegistry(path)

@@ -1,0 +1,127 @@
+"""Tests for ``repro bench-report``: ingest, delta table, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import BenchRegistry
+from repro.obs.report import bench_report, format_diff
+
+PLATFORM = {"system": "Linux", "machine": "x86_64", "python": "3.11.8"}
+
+
+def write_bench(tmp_path, filename, created, throughput, *, wall=None, commit="c1"):
+    records = [{"bench": "serving", "backend": "microbatch", "throughput_rps": throughput}]
+    if wall is not None:
+        records[0]["wall_seconds"] = wall
+    path = tmp_path / filename
+    path.write_text(
+        json.dumps(
+            {
+                "version": 3,
+                "name": "serving",
+                "created_unix": created,
+                "git_commit": commit,
+                "platform": PLATFORM,
+                "platform_key": "Linux-x86_64-py3.11",
+                "records": records,
+            }
+        )
+    )
+    return path
+
+
+@pytest.fixture
+def echo():
+    lines: list[str] = []
+
+    def capture(text=""):
+        lines.append(str(text))
+
+    capture.lines = lines
+    return capture
+
+
+class TestRegressionGate:
+    def test_25_percent_throughput_drop_fails_the_check(self, tmp_path, echo):
+        """The acceptance case: two ingested runs, a synthetic 25% regression."""
+        db = tmp_path / "reg.sqlite"
+        base = write_bench(tmp_path, "BENCH_a.json", 1000.0, 20_000.0, commit="a")
+        curr = write_bench(tmp_path, "BENCH_b.json", 2000.0, 15_000.0, commit="b")
+        assert bench_report([str(base)], db=db, check=True, echo=echo) == 0
+        assert bench_report([str(curr)], db=db, check=True, echo=echo) == 1
+        with BenchRegistry(db) as registry:
+            assert len(registry.runs("serving")) == 2
+        output = "\n".join(echo.lines)
+        assert "REGRESSION" in output
+        assert "FAILED regression gate" in output
+
+    def test_small_drop_passes(self, tmp_path, echo):
+        db = tmp_path / "reg.sqlite"
+        base = write_bench(tmp_path, "BENCH_a.json", 1000.0, 20_000.0, commit="a")
+        curr = write_bench(tmp_path, "BENCH_b.json", 2000.0, 18_000.0, commit="b")
+        assert bench_report([str(base), str(curr)], db=db, check=True, echo=echo) == 0
+        assert "REGRESSION" not in "\n".join(echo.lines)
+
+    def test_first_run_is_baseline_only(self, tmp_path, echo):
+        db = tmp_path / "reg.sqlite"
+        base = write_bench(tmp_path, "BENCH_a.json", 1000.0, 20_000.0)
+        assert bench_report([str(base)], db=db, check=True, echo=echo) == 0
+        assert any("baseline recorded" in line for line in echo.lines)
+
+    def test_regression_without_check_still_exits_zero(self, tmp_path, echo):
+        db = tmp_path / "reg.sqlite"
+        base = write_bench(tmp_path, "BENCH_a.json", 1000.0, 20_000.0, commit="a")
+        curr = write_bench(tmp_path, "BENCH_b.json", 2000.0, 10_000.0, commit="b")
+        assert bench_report([str(base), str(curr)], db=db, check=False, echo=echo) == 0
+        assert "REGRESSION" in "\n".join(echo.lines)  # reported, not gated
+
+    def test_lower_is_better_metric_gates_on_increase(self, tmp_path, echo):
+        db = tmp_path / "reg.sqlite"
+        base = write_bench(tmp_path, "BENCH_a.json", 1000.0, 20_000.0, wall=1.0, commit="a")
+        curr = write_bench(tmp_path, "BENCH_b.json", 2000.0, 20_000.0, wall=1.5, commit="b")
+        assert bench_report([str(base), str(curr)], db=db, check=True, echo=echo) == 1
+
+    def test_threshold_is_tunable(self, tmp_path, echo):
+        db = tmp_path / "reg.sqlite"
+        base = write_bench(tmp_path, "BENCH_a.json", 1000.0, 20_000.0, commit="a")
+        curr = write_bench(tmp_path, "BENCH_b.json", 2000.0, 18_000.0, commit="b")
+        args = [str(base), str(curr)]
+        assert bench_report(args, db=db, threshold=0.05, check=True, echo=echo) == 1
+
+
+class TestUsage:
+    def test_no_matching_files_is_a_usage_error(self, tmp_path, echo):
+        code = bench_report(
+            [str(tmp_path / "BENCH_*.json")], db=tmp_path / "reg.sqlite", echo=echo
+        )
+        assert code == 2
+
+    def test_glob_patterns_expand(self, tmp_path, echo):
+        db = tmp_path / "reg.sqlite"
+        write_bench(tmp_path, "BENCH_a.json", 1000.0, 20_000.0, commit="a")
+        write_bench(tmp_path, "BENCH_b.json", 2000.0, 19_000.0, commit="b")
+        assert bench_report([str(tmp_path / "BENCH_*.json")], db=db, echo=echo) == 0
+        assert any("2 file(s) ingested" in line for line in echo.lines)
+
+    def test_unreadable_payload_is_a_usage_error(self, tmp_path, echo):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps(["not", "an", "envelope"]))
+        assert bench_report([str(bad)], db=tmp_path / "reg.sqlite", echo=echo) == 2
+
+
+class TestFormatDiff:
+    def test_table_shows_direction_and_change(self, tmp_path):
+        with BenchRegistry(tmp_path / "reg.sqlite") as registry:
+            a = write_bench(tmp_path, "BENCH_a.json", 1000.0, 100.0, wall=1.0, commit="a")
+            b = write_bench(tmp_path, "BENCH_b.json", 2000.0, 50.0, wall=1.0, commit="b")
+            registry.record_file(a)
+            run = registry.record_file(b)
+            lines = format_diff(registry.diff(run.run_id), threshold=0.2)
+        text = "\n".join(lines)
+        assert "baseline: run 1" in text
+        assert "-50.0%" in text
+        assert "REGRESSION" in text
+        assert "[↓good]" in text  # wall_seconds, unchanged but direction-tagged

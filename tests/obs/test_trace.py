@@ -1,0 +1,142 @@
+"""Tests for the span tracer and its Chrome trace dump."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Tracer
+
+
+class TestSpans:
+    def test_span_records_name_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        (record,) = tracer.spans()
+        assert record["name"] == "work"
+        assert record["duration_s"] >= 0.0
+        assert record["start_s"] >= 0.0
+        assert record["depth"] == 0
+        assert record["parent"] is None
+
+    def test_labels_recorded_and_coerced(self):
+        tracer = Tracer()
+        with tracer.span("work", shard=3, scheme="TOC", blob=object()):
+            pass
+        (record,) = tracer.spans()
+        assert record["labels"]["shard"] == 3
+        assert record["labels"]["scheme"] == "TOC"
+        assert isinstance(record["labels"]["blob"], str)  # coerced for JSON
+
+    def test_nesting_assigns_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()  # inner closes first
+        assert inner["name"] == "inner"
+        assert inner["depth"] == 1
+        assert inner["parent"] == outer["id"]
+        assert outer["depth"] == 0
+        assert outer["parent"] is None
+
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker():
+            with tracer.span("outer"):
+                barrier.wait()  # both threads hold an open span at once
+                with tracer.span("inner"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = tracer.spans()
+        assert len(records) == 4
+        # No cross-thread nesting: every inner's parent is an outer from the
+        # same thread, and outers stay at depth 0.
+        by_id = {record["id"]: record for record in records}
+        for record in records:
+            if record["name"] == "inner":
+                parent = by_id[record["parent"]]
+                assert parent["name"] == "outer"
+                assert parent["thread_id"] == record["thread_id"]
+            else:
+                assert record["depth"] == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        records = tracer.spans()
+        assert len(tracer) == 4
+        assert [record["name"] for record in records] == ["s6", "s7", "s8", "s9"]
+
+    def test_clear_empties_the_buffer(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.spans() == []
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        obs_trace.set_enabled(False)
+        try:
+            with tracer.span("work"):
+                pass
+        finally:
+            obs_trace.set_enabled(True)
+        assert len(tracer) == 0
+        assert obs_trace.enabled()
+
+    def test_module_span_feeds_the_default_tracer(self):
+        before = len(obs_trace.default_tracer())
+        with obs_trace.span("t.module_span"):
+            pass
+        assert len(obs_trace.default_tracer()) == before + 1
+
+
+class TestDumps:
+    def test_dump_is_json_span_list(self):
+        tracer = Tracer()
+        with tracer.span("work", shard=1):
+            pass
+        records = json.loads(tracer.dump())
+        assert isinstance(records, list)
+        assert records[0]["name"] == "work"
+
+    def test_chrome_dump_shape(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", shard=2):
+                pass
+        payload = json.loads(tracer.dump_chrome(indent=2))
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["pid"] == os.getpid()
+            assert isinstance(event["tid"], int)
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert "depth" in event["args"]
+        inner = next(e for e in events if e["name"] == "inner")
+        assert inner["args"]["shard"] == 2

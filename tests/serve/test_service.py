@@ -160,3 +160,61 @@ class TestFromRegistry:
             assert service.store is not None
             assert checkpoint.shard_dir == shard_dir
             assert service.predict_id(0) in (0.0, 1.0)
+
+
+class TestStatsSnapshot:
+    def test_snapshot_matches_live_attributes_when_idle(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        with PredictionService(model, store, cache_size=8) as service:
+            for row_id in (0, 1, 0, 2):
+                service.predict_id(row_id)
+            snap = service.stats.snapshot()
+        assert snap.requests == service.stats.requests == 4
+        assert snap.cache_hits == service.stats.cache_hits == 1
+        assert snap.cache_misses == service.stats.cache_misses == 3
+        assert snap.rows_predicted == service.stats.rows_predicted == 3
+        assert snap.request_seconds == pytest.approx(service.stats.request_seconds)
+        assert snap.cache_hit_rate == pytest.approx(0.25)
+        assert snap.mean_request_seconds == pytest.approx(snap.request_seconds / 4)
+
+    def test_snapshot_is_atomic_against_concurrent_writers(self, trained_setup):
+        """A snapshot must never split a multi-metric update in half.
+
+        Each synthetic request adds exactly 1.0 to ``request_seconds`` in the
+        same locked section that bumps ``requests`` — so any snapshot where
+        the two disagree caught a half-applied update (the race the locked
+        ``snapshot()`` exists to close).
+        """
+        import threading
+
+        model, *_ = trained_setup
+        with PredictionService(model) as service:
+            stop = threading.Event()
+
+            def writer():
+                while not stop.is_set():
+                    with service._lock:
+                        service.stats.record_request(1.0)
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            try:
+                for _ in range(300):
+                    snap = service.stats.snapshot()
+                    assert snap.request_seconds == pytest.approx(float(snap.requests))
+            finally:
+                stop.set()
+                thread.join()
+
+    def test_two_services_do_not_share_counters(self, trained_setup):
+        model, shard_dir, _, _ = trained_setup
+        store = FeatureStore.open(shard_dir)
+        with PredictionService(model, store) as a, PredictionService(model, store) as b:
+            a.predict_id(0)
+            assert a.stats.requests == 1
+            assert b.stats.requests == 0
+            metrics_a, metrics_b = a.metrics(), b.metrics()
+        assert metrics_a["counters"]["serve.requests"] == 1
+        assert metrics_b["counters"]["serve.requests"] == 0
+        assert metrics_a["histograms"]["serve.request.seconds"]["count"] == 1

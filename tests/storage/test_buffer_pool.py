@@ -187,3 +187,90 @@ class TestLazyDiskEntries:
         pool.put_on_disk(0, b"newer")
         assert pool.read(0) == b"newer"
         assert pool.cached_bytes == len(b"newer")
+
+
+class TestEvictionAccounting:
+    """Byte accounting under eviction pressure, mirrored into obs metrics.
+
+    The pool feeds the process-global ``storage.pool.*`` metrics, which are
+    shared by every pool in the process — so these tests assert on *deltas*
+    around the operations, never on absolute metric values.
+    """
+
+    def test_sustained_pressure_keeps_bytes_within_budget(self):
+        pool = BufferPool(budget_bytes=100)
+        for key in range(5):
+            pool.put_on_disk(key, _payload(60, fill=key))
+        for _ in range(3):  # cyclic over-budget access: the LRU worst case
+            for key in range(5):
+                pool.read(key)
+                assert 0 <= pool.cached_bytes <= pool.budget_bytes
+        assert pool.stats.evictions > 0
+        assert pool.cached_bytes == sum(
+            60 for _ in pool.resident_keys
+        )  # ledger matches the actual resident set
+
+    def test_metrics_mirror_stats_deltas(self):
+        from repro.obs import metrics as obs_metrics
+
+        evictions = obs_metrics.counter("storage.pool.evictions")
+        disk_bytes = obs_metrics.counter("storage.pool.bytes_read_from_disk")
+        resident = obs_metrics.gauge("storage.pool.bytes_resident")
+        before = (evictions.value, disk_bytes.value, resident.value)
+
+        pool = BufferPool(budget_bytes=100)
+        for key in range(4):
+            pool.put_on_disk(key, _payload(40, fill=key))
+        for key in range(4):
+            pool.read(key)
+
+        assert evictions.value - before[0] == pool.stats.evictions
+        assert disk_bytes.value - before[1] == pool.stats.bytes_read_from_disk
+        assert resident.value - before[2] == pool.cached_bytes
+
+    def test_reregistration_under_pressure_never_goes_negative(self):
+        from repro.obs import metrics as obs_metrics
+
+        resident = obs_metrics.gauge("storage.pool.bytes_resident")
+        before = resident.value
+        pool = BufferPool(budget_bytes=100)
+        pool.put_on_disk(0, _payload(80))
+        pool.read(0)
+        pool.put_on_disk(0, _payload(80, fill=1))  # drops the cached copy
+        assert pool.cached_bytes == 0
+        assert resident.value - before == 0
+        pool.read(0)
+        assert pool.cached_bytes == 80
+        assert resident.value - before == 80
+
+    def test_concurrent_loads_keep_the_ledger_consistent(self):
+        import threading
+
+        pool = BufferPool(budget_bytes=150)
+        n_keys, reads_per_thread, n_threads = 6, 200, 4
+        for key in range(n_keys):
+            pool.put_on_disk(key, size=50, loader=lambda k=key: _payload(50, fill=k))
+
+        errors: list[AssertionError] = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(reads_per_thread):
+                    key = (seed + i) % n_keys
+                    assert pool.read(key) == _payload(50, fill=key)
+                    assert 0 <= pool.cached_bytes <= pool.budget_bytes
+            except AssertionError as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        # Every read was either a hit or a miss; nothing lost to races.
+        assert pool.stats.accesses == n_threads * reads_per_thread
+        assert pool.stats.bytes_read_from_disk == pool.stats.misses * 50
+        assert 0 <= pool.cached_bytes <= pool.budget_bytes
+        assert pool.cached_bytes == 50 * len(pool.resident_keys)

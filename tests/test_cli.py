@@ -455,3 +455,73 @@ class TestFsckCommand:
     def test_missing_directory_fails_cleanly(self, capsys, tmp_path):
         assert main(["fsck", "--shard-dir", str(tmp_path / "nope")]) == 2
         assert "no shard manifest" in capsys.readouterr().out
+
+
+class TestObsCommand:
+    def test_metrics_prints_the_snapshot(self, capsys):
+        assert main(["obs", "metrics", "--rows", "60", "--prefix", "engine."]) == 0
+        out = capsys.readouterr().out
+        snapshot = __import__("json").loads(out)
+        assert snapshot["counters"]["engine.train.epochs"] >= 2
+        assert "engine.encode.batch_seconds" in snapshot["histograms"]
+
+    def test_dump_json_to_stdout(self, capsys):
+        assert main(["obs", "dump", "--rows", "60"]) == 0
+        spans = __import__("json").loads(capsys.readouterr().out)
+        assert any(record["name"] == "engine.train" for record in spans)
+
+    def test_dump_chrome_to_file(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main([
+            "obs", "dump", "--rows", "60", "--format", "chrome",
+            "--output", str(out_path),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        events = payload["traceEvents"]
+        assert events and all(event["ph"] == "X" for event in events)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["obs", "dump"])
+        assert args.format == "json"
+        assert args.rows == 400
+        args = build_parser().parse_args(["bench-report"])
+        assert args.db == "bench_registry.sqlite"
+        assert args.threshold == 0.2
+        assert not args.check
+
+
+class TestBenchReportCommand:
+    @staticmethod
+    def _bench_file(tmp_path, filename, created, rps, commit):
+        import json
+
+        path = tmp_path / filename
+        path.write_text(json.dumps({
+            "version": 3,
+            "name": "serving",
+            "created_unix": created,
+            "git_commit": commit,
+            "platform": {"system": "T", "machine": "t", "python": "3.11"},
+            "platform_key": "T-t-py3.11",
+            "records": [{"bench": "serving", "throughput_rps": rps}],
+        }))
+        return path
+
+    def test_gate_passes_then_fails_on_regression(self, capsys, tmp_path):
+        db = str(tmp_path / "reg.sqlite")
+        base = self._bench_file(tmp_path, "BENCH_a.json", 1000.0, 20000.0, "a")
+        curr = self._bench_file(tmp_path, "BENCH_b.json", 2000.0, 14000.0, "b")
+        assert main(["bench-report", "--db", db, "--check", str(base)]) == 0
+        assert "baseline recorded" in capsys.readouterr().out
+        assert main(["bench-report", "--db", db, "--check", str(curr)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "FAILED regression gate" in out
+
+    def test_no_files_is_a_usage_error(self, capsys, tmp_path):
+        missing = str(tmp_path / "BENCH_*.json")
+        assert main(["bench-report", "--db", str(tmp_path / "r.sqlite"), missing]) == 2
+        assert "no BENCH files" in capsys.readouterr().out
