@@ -173,6 +173,9 @@ def _cmd_compact(args: argparse.Namespace) -> int:
             readvise=not args.no_readvise,
             sample_rows=args.sample_rows,
             workload=args.workload,
+            max_shards=args.max_shards,
+            workers=args.workers,
+            executor=args.executor,
         )
     except ValueError as exc:
         print(f"compact failed: {exc}")
@@ -188,6 +191,7 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     print(
         f"compacted {dataset.path} in {report.seconds:.3f}s: "
         f"{report.n_reencoded} of {report.examined} shards re-encoded"
+        + (f" ({report.deferred} deferred by --max-shards)" if report.deferred else "")
         + (
             f", payload {report.payload_bytes_before / 1e6:.2f} -> "
             f"{report.payload_bytes_after / 1e6:.2f} MB"
@@ -630,6 +634,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="re-advise with the measured cost model for this workload "
         "(calibration is persisted next to the dataset)",
+    )
+    compact.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="re-encode at most this many shards per pass (rest deferred)",
+    )
+    compact.add_argument(
+        "--workers", type=int, default=None, help="re-encode worker count (default: cores)"
+    )
+    compact.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="executor for the re-encode fan-out",
     )
     compact.set_defaults(func=_cmd_compact)
 

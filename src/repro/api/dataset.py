@@ -209,6 +209,9 @@ class Dataset:
         *,
         sample_rows: int = AUTO_SAMPLE_ROWS,
         workload: str | None = None,
+        max_shards: int | None = None,
+        workers: int | None = None,
+        executor: str = "auto",
     ) -> CompactReport:
         """Re-advise every shard; re-encode only those whose winner changed.
 
@@ -227,6 +230,11 @@ class Dataset:
         (``workload="train"``) than for a serving one (``workload="serve"``)
         — and re-running ``compact`` with a workload retroactively upgrades
         datasets encoded under the old flat-penalty advisor.
+
+        Re-encoding fans out over the encode executor (``workers`` /
+        ``executor`` as in :meth:`create`); ``max_shards`` bounds how many
+        shards one pass may rewrite, deferring the rest to later passes
+        (``report.deferred`` counts them).
         """
         return compact_dataset(
             self._sharded,
@@ -234,6 +242,9 @@ class Dataset:
             sample_rows=sample_rows,
             workload=workload,
             calibration=_calibration_for(self.path, workload),
+            max_shards=max_shards,
+            workers=workers,
+            executor=executor,
         )
 
     def fsck(self, *, remove: bool = True) -> FsckReport:

@@ -44,14 +44,16 @@ class PackedIntArray:
     Attributes
     ----------
     data:
-        Raw little-endian payload bytes (``count * width`` bytes).
+        Raw little-endian payload bytes (``count * width`` bytes).  Any
+        buffer object works — ``from_bytes`` on a memoryview keeps the
+        payload as a zero-copy slice of the caller's buffer.
     count:
         Number of integers stored.
     width:
         Bytes used per integer (1, 2, 3, or 4).
     """
 
-    data: bytes
+    data: bytes | memoryview
     count: int
     width: int
 
@@ -63,10 +65,10 @@ class PackedIntArray:
     def to_bytes(self) -> bytes:
         """Serialise to a self-describing byte string (header + payload)."""
         header = np.array([self.count, self.width], dtype=_HEADER_DTYPE).tobytes()
-        return header + self.data
+        return header + bytes(self.data)
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> tuple["PackedIntArray", int]:
+    def from_bytes(cls, raw) -> tuple["PackedIntArray", int]:
         """Parse a packed array from ``raw``; return it and the bytes consumed."""
         header_size = 2 * _HEADER_DTYPE.itemsize
         if len(raw) < header_size:

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.bitpack.bitpacking import PackedIntArray, pack_integers
 
 
@@ -39,10 +40,10 @@ class ValueIndex:
         return len(self.to_bytes())
 
     def decode(self) -> np.ndarray:
-        """Materialise the original value array."""
+        """Materialise the original value array (batched kernel gather)."""
         if self.codes.size == 0:
             return np.zeros(0, dtype=np.float64)
-        return self.dictionary[self.codes]
+        return kernels.vi_gather(self.dictionary, self.codes)
 
     def to_bytes(self) -> bytes:
         """Serialise as packed codes followed by the raw dictionary."""
@@ -51,7 +52,7 @@ class ValueIndex:
         return packed_codes.to_bytes() + dict_header.to_bytes() + self.dictionary.astype("<f8").tobytes()
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> tuple["ValueIndex", int]:
+    def from_bytes(cls, raw) -> tuple["ValueIndex", int]:
         """Parse a :class:`ValueIndex`; return it and the bytes consumed."""
         packed_codes, offset = PackedIntArray.from_bytes(raw)
         dict_header, consumed = PackedIntArray.from_bytes(raw[offset:])

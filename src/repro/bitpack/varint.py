@@ -3,57 +3,45 @@
 The paper mentions Varint as a more advanced alternative to fixed-width bit
 packing ("future work", Section 3.2).  We provide it as an optional physical
 codec so the ablation benches can compare the two.
+
+The byte-level work is done by the active :mod:`repro.kernels` backend
+(vectorized NumPy by default, ``REPRO_KERNELS=python|numba`` to override);
+this module keeps the stable public codec API.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
+
+#: Longest accepted varint: 9 payload bytes cover non-negative int64.
+MAX_VARINT_BYTES = kernels.MAX_VARINT_BYTES
+
 
 def encode_varints(values: np.ndarray | list[int]) -> bytes:
     """Encode non-negative integers as LEB128-style varints."""
-    arr = np.asarray(values, dtype=np.int64).ravel()
-    if arr.size and arr.min() < 0:
-        raise ValueError("varint encoding requires non-negative integers")
-    out = bytearray()
-    for value in arr.tolist():
-        while True:
-            byte = value & 0x7F
-            value >>= 7
-            if value:
-                out.append(byte | 0x80)
-            else:
-                out.append(byte)
-                break
-    return bytes(out)
+    return kernels.varint_encode(np.asarray(values, dtype=np.int64))
 
 
-def decode_varints(raw: bytes, count: int | None = None) -> np.ndarray:
-    """Decode varints from ``raw``.
+def decode_varints(raw, count: int | None = None) -> np.ndarray:
+    """Decode varints from ``raw`` (bytes or any buffer object).
 
     Parameters
     ----------
     raw:
-        Byte string produced by :func:`encode_varints`.
+        Byte string (or buffer) produced by :func:`encode_varints`.
     count:
-        If given, stop after decoding this many integers and ignore the rest;
-        otherwise decode the whole buffer.
+        If given, return only the first ``count`` integers; otherwise decode
+        the whole buffer.
+
+    The whole buffer must consist of complete varints even when ``count``
+    stops short of them: a stream that ends mid-value raises ``ValueError``
+    regardless of ``count``, because a truncated tail means the writer was
+    interrupted and the payload cannot be trusted.
     """
-    values: list[int] = []
-    current = 0
-    shift = 0
-    for byte in raw:
-        current |= (byte & 0x7F) << shift
-        if byte & 0x80:
-            shift += 7
-        else:
-            values.append(current)
-            current = 0
-            shift = 0
-            if count is not None and len(values) == count:
-                break
-    if shift != 0:
-        raise ValueError("truncated varint stream")
-    if count is not None and len(values) < count:
-        raise ValueError(f"expected {count} varints, decoded only {len(values)}")
-    return np.asarray(values, dtype=np.int64)
+    values, _ = kernels.varint_decode(raw, count, True)
+    return values
+
+
+__all__ = ["MAX_VARINT_BYTES", "decode_varints", "encode_varints"]

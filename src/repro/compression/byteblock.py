@@ -82,10 +82,11 @@ class _ByteBlockMatrix(CompressedMatrix):
 
     def to_bytes(self) -> bytes:
         header = np.array(self.shape, dtype=_HEADER_DTYPE).tobytes()
-        return header + self._payload
+        # The payload may be a zero-copy memoryview of an mmap'd shard.
+        return header + bytes(self._payload)
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "_ByteBlockMatrix":
+    def from_bytes(cls, raw) -> "_ByteBlockMatrix":
         header_size = 2 * _HEADER_DTYPE.itemsize
         rows, cols = (int(x) for x in np.frombuffer(raw[:header_size], dtype=_HEADER_DTYPE))
         return cls(_payload=raw[header_size:], _shape=(rows, cols))

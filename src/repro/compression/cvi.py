@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import kernels
 from repro.bitpack.bitpacking import PackedIntArray, pack_integers
 from repro.bitpack.value_index import ValueIndex, build_value_index
 from repro.compression.base import CompressedMatrix, CompressionScheme
@@ -68,7 +69,7 @@ class CVIMatrix(CompressedMatrix):
         v = self._check_matvec_input(vector)
         # Direct execution: gather dictionary values per stored cell; the
         # dictionary lookup replaces the dense data array of plain CSR.
-        data = self._values.dictionary[self._values.codes]
+        data = kernels.vi_gather(self._values.dictionary, self._values.codes)
         contrib = data * v[self._indices]
         result = np.zeros(self.n_rows, dtype=np.float64)
         row_ids = np.repeat(np.arange(self.n_rows), np.diff(self._indptr))
@@ -77,7 +78,7 @@ class CVIMatrix(CompressedMatrix):
 
     def rmatvec(self, vector: np.ndarray) -> np.ndarray:
         v = self._check_rmatvec_input(vector)
-        data = self._values.dictionary[self._values.codes]
+        data = kernels.vi_gather(self._values.dictionary, self._values.codes)
         row_ids = np.repeat(np.arange(self.n_rows), np.diff(self._indptr))
         contrib = data * v[row_ids]
         result = np.zeros(self.n_cols, dtype=np.float64)
@@ -119,9 +120,9 @@ class CVIMatrix(CompressedMatrix):
         out_rows = np.repeat(np.arange(index.size), counts)
         range_offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
         positions = np.arange(total) - range_offsets[out_rows] + starts[out_rows]
-        out[out_rows, self._indices[positions]] = self._values.dictionary[
-            self._values.codes[positions]
-        ]
+        out[out_rows, self._indices[positions]] = kernels.vi_gather(
+            self._values.dictionary, self._values.codes[positions]
+        )
         return out
 
     def to_bytes(self) -> bytes:
@@ -136,7 +137,7 @@ class CVIMatrix(CompressedMatrix):
         )
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "CVIMatrix":
+    def from_bytes(cls, raw) -> "CVIMatrix":
         header_size = 3 * _HEADER_DTYPE.itemsize
         rows, cols, _nnz = (
             int(x) for x in np.frombuffer(raw[:header_size], dtype=_HEADER_DTYPE)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.bitpack.value_index import ValueIndex, build_value_index
 from repro.compression.base import CompressedMatrix, CompressionScheme
 
@@ -50,20 +51,20 @@ class DVIMatrix(CompressedMatrix):
     def matvec(self, vector: np.ndarray) -> np.ndarray:
         v = self._check_matvec_input(vector)
         # Direct execution on codes: for each row, sum dictionary[code] * v[col].
-        data = self._values.dictionary[self._codes_matrix()]
+        data = kernels.vi_gather(self._values.dictionary, self._codes_matrix())
         return data @ v
 
     def rmatvec(self, vector: np.ndarray) -> np.ndarray:
         v = self._check_rmatvec_input(vector)
-        data = self._values.dictionary[self._codes_matrix()]
+        data = kernels.vi_gather(self._values.dictionary, self._codes_matrix())
         return v @ data
 
     def matmat(self, matrix: np.ndarray) -> np.ndarray:
-        data = self._values.dictionary[self._codes_matrix()]
+        data = kernels.vi_gather(self._values.dictionary, self._codes_matrix())
         return data @ np.asarray(matrix, dtype=np.float64)
 
     def rmatmat(self, matrix: np.ndarray) -> np.ndarray:
-        data = self._values.dictionary[self._codes_matrix()]
+        data = kernels.vi_gather(self._values.dictionary, self._codes_matrix())
         return np.asarray(matrix, dtype=np.float64) @ data
 
     def scale(self, scalar: float) -> "DVIMatrix":
@@ -80,14 +81,14 @@ class DVIMatrix(CompressedMatrix):
     def _row_slice_rows(self, index: np.ndarray) -> np.ndarray:
         # Decode only the requested rows' codes (the default would build a
         # selection matrix and multiply through a full decode).
-        return self._values.dictionary[self._codes_matrix()[index]]
+        return kernels.vi_gather(self._values.dictionary, self._codes_matrix()[index])
 
     def to_bytes(self) -> bytes:
         header = np.array(self.shape, dtype=_HEADER_DTYPE).tobytes()
         return header + self._values.to_bytes()
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "DVIMatrix":
+    def from_bytes(cls, raw) -> "DVIMatrix":
         header_size = 2 * _HEADER_DTYPE.itemsize
         rows, cols = (int(x) for x in np.frombuffer(raw[:header_size], dtype=_HEADER_DTYPE))
         values, _ = ValueIndex.from_bytes(raw[header_size:])

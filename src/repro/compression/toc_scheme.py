@@ -55,6 +55,11 @@ class TOCCompressedMatrix(CompressedMatrix):
     def to_dense(self) -> np.ndarray:
         return self._toc.to_dense()
 
+    def _row_slice_rows(self, index: np.ndarray) -> np.ndarray:
+        # Direct decode of just the selected rows' code runs — replaces the
+        # generic selection-matrix rmatmat, which costs O(rows × n_rows).
+        return self._toc.row_slice(index)
+
     def to_bytes(self) -> bytes:
         return self._toc.to_bytes()
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.core.decode_tree import DecodeTree, build_decode_tree
 from repro.core.logical import LogicalEncoding
 from repro.core.sparse import SparseEncodedTable, sparse_decode
@@ -308,6 +309,32 @@ def decode_to_dense(
 ) -> np.ndarray:
     """Fully decode the TOC output to a dense matrix."""
     return sparse_decode(decode_to_sparse(encoding, tree))
+
+
+def decode_rows_to_dense(
+    encoding: LogicalEncoding,
+    rows: np.ndarray,
+    tree: DecodeTree | None = None,
+) -> np.ndarray:
+    """Decode only ``rows`` (in request order, duplicates kept) to dense.
+
+    Gathers just the selected rows' code runs and walks them through the
+    decode tree — ``O(selected codes × depth)``, never touching the other
+    rows' codes or materialising a selection matrix.
+    """
+    ctree = _as_decode_tree(encoding, tree)
+    index = np.asarray(rows, dtype=np.intp).ravel()
+    if index.size and (index.min() < 0 or index.max() >= encoding.n_rows):
+        raise IndexError("row index out of range")
+    return kernels.toc_row_slice(
+        encoding.codes,
+        encoding.row_offsets,
+        ctree.key_columns,
+        ctree.key_values,
+        ctree.parents,
+        index,
+        encoding.n_cols,
+    )
 
 
 def matrix_plus_scalar(

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.bitpack.bitpacking import PackedIntArray, pack_integers
 from repro.bitpack.value_index import ValueIndex, build_value_index
 from repro.bitpack.varint import encode_varints
@@ -63,8 +64,13 @@ class PhysicalEncoding:
         )
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "PhysicalEncoding":
-        """Parse a :class:`PhysicalEncoding` from its serialised form."""
+    def from_bytes(cls, raw) -> "PhysicalEncoding":
+        """Parse a :class:`PhysicalEncoding` from bytes or any buffer object.
+
+        Passing a memoryview (e.g. over an mmap'd shard) keeps every slice —
+        including the packed payloads — zero-copy views of the source buffer.
+        """
+        raw = memoryview(raw)
         if raw[: len(_MAGIC)] != _MAGIC:
             raise ValueError("not a TOC physical encoding (bad magic)")
         offset = len(_MAGIC)
@@ -156,27 +162,19 @@ def physical_encode_varint(encoding: LogicalEncoding) -> bytes:
     return header + body
 
 
-def physical_decode_varint(raw: bytes) -> LogicalEncoding:
-    """Inverse of :func:`physical_encode_varint`."""
+def physical_decode_varint(raw) -> LogicalEncoding:
+    """Inverse of :func:`physical_encode_varint` (accepts any buffer object)."""
     # Varints are self-delimiting, so decode sequentially tracking offsets.
+    # Raw float bytes follow the varint segments, so tail validation is off:
+    # each take() decodes exactly ``count`` values from the cursor onwards.
+    raw = memoryview(raw)
     cursor = 0
 
     def take(count: int) -> np.ndarray:
         nonlocal cursor
-        values: list[int] = []
-        current = 0
-        shift = 0
-        while len(values) < count:
-            byte = raw[cursor]
-            cursor += 1
-            current |= (byte & 0x7F) << shift
-            if byte & 0x80:
-                shift += 7
-            else:
-                values.append(current)
-                current = 0
-                shift = 0
-        return np.asarray(values, dtype=np.int64)
+        values, consumed = kernels.varint_decode(raw[cursor:], count, False)
+        cursor += consumed
+        return values
 
     n_rows, n_cols, n_first, n_codes = take(4).tolist()
     first_cols = take(n_first)

@@ -186,6 +186,15 @@ class TOCMatrix:
         """Fully decode back to a dense NumPy matrix."""
         return sparse_decode(self.to_sparse())
 
+    def row_slice(self, rows: np.ndarray) -> np.ndarray:
+        """Dense copy of the selected rows, in request order.
+
+        Decodes only the selected rows' code runs through the decode tree
+        (``O(selected codes)``) — no selection matrix, no full decode.
+        Duplicate indices yield independent output rows.
+        """
+        return ops.decode_rows_to_dense(self.logical, rows, self.decode_tree)
+
     # -- statistics -----------------------------------------------------------
 
     def compression_ratio(self) -> float:

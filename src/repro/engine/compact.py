@@ -31,8 +31,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
 from repro.compression.registry import get_scheme
-from repro.engine.encode import AUTO_SAMPLE_ROWS, advise_scheme
+from repro.engine.encode import (
+    AUTO_SAMPLE_ROWS,
+    advise_scheme,
+    resolve_executor,
+    resolve_workers,
+)
 from repro.engine.shards import LABELS_NAME, MANIFEST_NAME, ShardedDataset, shard_filename_stem
 from repro.exec import row_slice, supports_direct_ops
 from repro.obs import metrics as obs_metrics
@@ -65,6 +72,12 @@ class CompactReport:
     seconds: float = 0.0
     sample_rows: int = AUTO_SAMPLE_ROWS
     readvised: bool = True
+    #: Shards whose winner changed but that the ``max_shards`` budget pushed
+    #: to a later pass.
+    deferred: int = 0
+    #: The executor kind that ran the re-encodes (``"serial"`` when nothing
+    #: needed re-encoding).
+    executor: str = "serial"
 
     @property
     def n_reencoded(self) -> int:
@@ -116,6 +129,22 @@ def readvise_shard(
     )
 
 
+def _reencode_one(task: tuple) -> tuple:
+    """Worker body: re-encode one shard file with its new winning scheme.
+
+    Top-level so it pickles into ``ProcessPoolExecutor`` workers.  The shard
+    is re-read from its path inside the worker — a zero-copy mmap read, so
+    parallel workers share the page-cache copy of immutable shard files
+    instead of each shipping the payload across the pool boundary.
+    """
+    from repro.storage.mmapio import read_buffer
+
+    batch_id, path, scheme_before, winner = task
+    matrix = get_scheme(scheme_before).decompress_bytes(read_buffer(path))
+    payload = get_scheme(winner).compress(matrix.to_dense()).to_bytes()
+    return batch_id, payload
+
+
 def compact_dataset(
     dataset: ShardedDataset,
     *,
@@ -123,6 +152,9 @@ def compact_dataset(
     sample_rows: int = AUTO_SAMPLE_ROWS,
     workload: str | None = None,
     calibration=None,
+    max_shards: int | None = None,
+    workers: int | None = None,
+    executor: str = "auto",
 ) -> CompactReport:
     """Re-advise every shard and re-encode the ones whose winner changed.
 
@@ -135,9 +167,18 @@ def compact_dataset(
     replica (``"train"``) than for a serving one (``"serve"``), and because
     compaction re-advises, a calibrated advisor retroactively improves
     datasets encoded before calibration existed.
+
+    Re-encoding fans out over the encode executor (``workers``/``executor``
+    as in :func:`repro.engine.encode.encode_batches`).  ``max_shards`` caps
+    how many shards one pass may rewrite: shards beyond the budget are left
+    untouched and counted in ``report.deferred``, so an operator can spread
+    a large rewrite over several bounded passes (each one still ends with a
+    single atomic manifest swap).
     """
     if sample_rows < 1:
         raise ValueError("sample_rows must be at least 1")
+    if max_shards is not None and max_shards < 0:
+        raise ValueError("max_shards must be non-negative")
     if readvise and workload is not None and calibration is None:
         from repro.core.calibration import ensure_calibration
 
@@ -156,6 +197,9 @@ def compact_dataset(
         "engine.compact", n_shards=len(dataset.shards), readvise=readvise
     ):
         if readvise:
+            # Advising is cheap (a sampled row-slice per shard), so it runs
+            # serially; only the winners that changed pay a re-encode.
+            pending: list[tuple] = []  # (shard, winner)
             for shard in list(dataset.shards):
                 matrix = dataset.decode(shard.batch_id)
                 winner = advise_scheme(
@@ -163,21 +207,42 @@ def compact_dataset(
                     workload=workload,
                     calibration=calibration,
                 )
-                if winner == shard.scheme:
-                    continue
-                # Full decode only for the shards actually being re-encoded.
-                payload = get_scheme(winner).compress(matrix.to_dense()).to_bytes()
-                updated = dataset.stage_shard(shard.batch_id, payload, winner)
-                superseded.append(shard.filename)
-                report.changes.append(
-                    ShardChange(
-                        batch_id=shard.batch_id,
-                        scheme_before=shard.scheme,
-                        scheme_after=winner,
-                        nbytes_before=shard.nbytes,
-                        nbytes_after=updated.nbytes,
+                if winner != shard.scheme:
+                    pending.append((shard, winner))
+            if max_shards is not None and len(pending) > max_shards:
+                report.deferred = len(pending) - max_shards
+                pending = pending[:max_shards]
+            if pending:
+                n_workers = resolve_workers(workers)
+                kind = resolve_executor(executor, n_workers)
+                report.executor = kind
+                tasks = [
+                    (s.batch_id, str(dataset.directory / s.filename), s.scheme, winner)
+                    for s, winner in pending
+                ]
+                if kind == "serial" or n_workers == 1:
+                    results = [_reencode_one(task) for task in tasks]
+                else:
+                    pool_cls = (
+                        ProcessPoolExecutor if kind == "process" else ThreadPoolExecutor
                     )
-                )
+                    with pool_cls(max_workers=n_workers) as pool:
+                        results = list(pool.map(_reencode_one, tasks))
+                payloads = dict(results)
+                for shard, winner in pending:
+                    updated = dataset.stage_shard(
+                        shard.batch_id, payloads[shard.batch_id], winner
+                    )
+                    superseded.append(shard.filename)
+                    report.changes.append(
+                        ShardChange(
+                            batch_id=shard.batch_id,
+                            scheme_before=shard.scheme,
+                            scheme_after=winner,
+                            nbytes_before=shard.nbytes,
+                            nbytes_after=updated.nbytes,
+                        )
+                    )
         # One atomic manifest write publishes every staged shard (and, for a v1
         # directory, upgrades the on-disk manifest to format v2).  Only after
         # that swap are the superseded generation files garbage.
@@ -189,6 +254,7 @@ def compact_dataset(
     obs_metrics.counter("engine.compact.passes").inc()
     obs_metrics.counter("engine.compact.shards_examined").inc(report.examined)
     obs_metrics.counter("engine.compact.shards_reencoded").inc(report.n_reencoded)
+    obs_metrics.counter("engine.compact.shards_deferred").inc(report.deferred)
     return report
 
 

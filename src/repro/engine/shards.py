@@ -46,6 +46,7 @@ from repro.engine.encode import (
     resolve_workers,
 )
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.mmapio import make_loader, read_buffer
 from repro.storage.pages import stored_bytes
 from repro.storage.table import BlobTable
 
@@ -357,11 +358,12 @@ class ShardedDataset:
             self._schemes[name] = get_scheme(name)
         return self._schemes[name]
 
-    def decode(self, batch_id: int, payload: bytes | None = None) -> CompressedMatrix:
+    def decode(self, batch_id: int, payload=None) -> CompressedMatrix:
         """Rebuild one shard's compressed matrix with *its* scheme.
 
-        ``payload`` lets callers that read through a buffer pool hand over
-        the bytes they already have; otherwise the shard file is read.
+        ``payload`` (bytes or any buffer) lets callers that read through a
+        buffer pool hand over the bytes they already have; otherwise the
+        shard file is read (zero-copy mmap by default).
         """
         if payload is None:
             payload = self.read_payload(batch_id)
@@ -372,9 +374,14 @@ class ShardedDataset:
     def __len__(self) -> int:
         return len(self.shards)
 
-    def read_payload(self, batch_id: int) -> bytes:
-        """Read one shard's bytes straight from disk (no caching)."""
-        return (self.directory / self.shards[batch_id].filename).read_bytes()
+    def read_payload(self, batch_id: int):
+        """Read one shard's payload straight from disk (no caching).
+
+        Returns a zero-copy ``memoryview`` over a read-only mmap of the
+        shard file (set ``REPRO_MMAP=0`` for copying ``read_bytes`` reads).
+        Every scheme's ``decompress_bytes`` accepts either.
+        """
+        return read_buffer(self.directory / self.shards[batch_id].filename)
 
     def labels_for(self, batch_id: int) -> np.ndarray:
         return self._labels[batch_id]
@@ -383,7 +390,7 @@ class ShardedDataset:
         """Register every shard in ``pool`` as a lazy on-disk blob."""
         for shard in self.shards:
             path = self.directory / shard.filename
-            pool.put_on_disk(shard.batch_id, size=shard.nbytes, loader=path.read_bytes)
+            pool.put_on_disk(shard.batch_id, size=shard.nbytes, loader=make_loader(path))
 
     def as_blob_table(self, pool: BufferPool) -> BlobTable:
         """Expose the shards as a Bismarck-style blob table over ``pool``.
@@ -398,7 +405,7 @@ class ShardedDataset:
                 shard.batch_id,
                 self._labels[shard.batch_id],
                 size=shard.nbytes,
-                loader=path.read_bytes,
+                loader=make_loader(path),
                 scheme=self.scheme_for(shard.batch_id),
             )
         return table

@@ -202,8 +202,9 @@ def row_slice(matrix, rows: Sequence[int]) -> np.ndarray:
     """Dense copy of the selected rows, in request order (duplicates allowed).
 
     Schemes provide their own fast path (array slice for DEN, SciPy row
-    indexing for CSR, a selection ``M @ A`` for direct-op schemes like TOC),
-    so a point lookup never has to materialise the whole block.
+    indexing for CSR, a direct decode of the selected rows' code runs for
+    TOC/CVI/DVI via the :mod:`repro.kernels` backends), so a point lookup
+    never has to materialise the whole block.
     """
     return kernels_for(matrix).row_slice(matrix, rows)
 

@@ -1,0 +1,175 @@
+"""Optional numba-jitted kernels (feature flag: ``REPRO_KERNELS=numba``).
+
+Importing this module never requires numba: when the package is absent,
+:func:`available` returns False and the registry in :mod:`repro.kernels`
+falls back to the NumPy backend.  When numba *is* present, the per-element
+loops below compile to native code on first call and match the reference
+semantics of :mod:`repro.kernels.python_backend` bit for bit.
+
+The jitted cores return status codes instead of raising so the thin Python
+wrappers own the (message-bearing) exceptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.python_backend import MAX_VARINT_BYTES
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError as _exc:  # pragma: no cover - the common case in CI
+    _numba = None
+    _IMPORT_ERROR = str(_exc)
+else:  # pragma: no cover
+    _IMPORT_ERROR = None
+
+
+def available() -> bool:
+    """True when numba imported successfully and the kernels can compile."""
+    return _numba is not None
+
+
+def unavailable_reason() -> str:
+    return _IMPORT_ERROR or "numba is importable"
+
+
+_STATUS_OK = 0
+_STATUS_TRUNCATED = 1
+_STATUS_OVERLONG = 2
+_STATUS_SHORT = 3
+
+
+if _numba is not None:  # pragma: no cover - compiled only where numba exists
+
+    @_numba.njit(cache=True)
+    def _encode_core(arr):
+        n = arr.shape[0]
+        total = 0
+        for i in range(n):
+            value = arr[i]
+            width = 1
+            value >>= 7
+            while value != 0:
+                width += 1
+                value >>= 7
+            total += width
+        out = np.empty(total, np.uint8)
+        pos = 0
+        for i in range(n):
+            value = arr[i]
+            while True:
+                byte = np.uint8(value & 0x7F)
+                value >>= 7
+                if value != 0:
+                    out[pos] = byte | 0x80
+                else:
+                    out[pos] = byte
+                    pos += 1
+                    break
+                pos += 1
+        return out
+
+    @_numba.njit(cache=True)
+    def _decode_core(buf, count, check_whole_buffer, max_bytes):
+        n = buf.shape[0]
+        n_complete = 0
+        for i in range(n):
+            if buf[i] & 0x80 == 0:
+                n_complete += 1
+        if count < 0:
+            n_values = n_complete
+        else:
+            if n_complete < count:
+                if n > 0 and (buf[n - 1] & 0x80) != 0:
+                    return np.empty(0, np.int64), 0, _STATUS_TRUNCATED
+                return np.empty(0, np.int64), 0, _STATUS_SHORT
+            n_values = count
+        if check_whole_buffer and n > 0 and (buf[n - 1] & 0x80) != 0:
+            return np.empty(0, np.int64), 0, _STATUS_TRUNCATED
+        out = np.empty(n_values, np.int64)
+        value = np.int64(0)
+        shift = 0
+        length = 0
+        decoded = 0
+        consumed = 0
+        for i in range(n):
+            byte = buf[i]
+            value |= np.int64(byte & 0x7F) << shift
+            length += 1
+            if length > max_bytes:
+                return np.empty(0, np.int64), 0, _STATUS_OVERLONG
+            if byte & 0x80:
+                shift += 7
+            else:
+                if decoded < n_values:
+                    out[decoded] = value
+                    consumed = i + 1
+                decoded += 1
+                value = np.int64(0)
+                shift = 0
+                length = 0
+                if decoded >= n_values and not check_whole_buffer:
+                    break
+        return out, consumed, _STATUS_OK
+
+    @_numba.njit(cache=True)
+    def _row_slice_core(codes, row_offsets, key_columns, key_values, parents, index, n_cols):
+        out = np.zeros((index.shape[0], n_cols), np.float64)
+        for out_row in range(index.shape[0]):
+            row = index[out_row]
+            for position in range(row_offsets[row], row_offsets[row + 1]):
+                node = codes[position]
+                while node != 0:
+                    out[out_row, key_columns[node]] = key_values[node]
+                    node = parents[node]
+        return out
+
+
+def varint_encode(values) -> bytes:  # pragma: no cover - needs numba
+    arr = np.ascontiguousarray(np.asarray(values, dtype=np.int64).ravel())
+    if arr.size == 0:
+        return b""
+    if arr.min() < 0:
+        raise ValueError("varint encoding requires non-negative integers")
+    return _encode_core(arr).tobytes()
+
+
+def varint_decode(
+    raw, count: int | None = None, validate_tail: bool = True
+):  # pragma: no cover - needs numba
+    if count == 0 and not validate_tail:
+        return np.zeros(0, dtype=np.int64), 0
+    buf = np.ascontiguousarray(np.frombuffer(raw, dtype=np.uint8))
+    check_whole_buffer = count is None or validate_tail
+    values, consumed, status = _decode_core(
+        buf, -1 if count is None else int(count), check_whole_buffer, MAX_VARINT_BYTES
+    )
+    if status == _STATUS_TRUNCATED:
+        raise ValueError("truncated varint stream")
+    if status == _STATUS_OVERLONG:
+        raise ValueError(f"varint longer than {MAX_VARINT_BYTES} bytes overflows int64")
+    if status == _STATUS_SHORT:
+        n_complete = int(np.count_nonzero((buf & 0x80) == 0))
+        raise ValueError(f"expected {count} varints, decoded only {n_complete}")
+    return values, int(consumed)
+
+
+def toc_row_slice(
+    codes, row_offsets, key_columns, key_values, parents, index, n_cols
+):  # pragma: no cover - needs numba
+    index = np.ascontiguousarray(np.asarray(index, dtype=np.int64).ravel())
+    return _row_slice_core(
+        np.ascontiguousarray(np.asarray(codes, dtype=np.int64)),
+        np.ascontiguousarray(np.asarray(row_offsets, dtype=np.int64)),
+        np.ascontiguousarray(np.asarray(key_columns, dtype=np.int64)),
+        np.ascontiguousarray(np.asarray(key_values, dtype=np.float64)),
+        np.ascontiguousarray(np.asarray(parents, dtype=np.int64)),
+        index,
+        int(n_cols),
+    )
+
+
+def vi_gather(dictionary, codes):  # pragma: no cover - needs numba
+    # Fancy indexing is already a native gather; jitting adds nothing here.
+    return np.asarray(dictionary)[np.asarray(codes)]

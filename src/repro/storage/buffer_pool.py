@@ -40,12 +40,17 @@ from dataclasses import dataclass, field
 from repro.obs import metrics as obs_metrics
 
 
+#: What loaders and reads hand back: plain bytes, or a zero-copy
+#: ``memoryview`` over an mmap'd shard file (see :mod:`repro.storage.mmapio`).
+Payload = bytes | memoryview
+
+
 @dataclass(frozen=True)
 class DiskBlob:
     """Handle to a payload that lives on real disk and is loaded on demand."""
 
     size: int
-    loader: Callable[[], bytes]
+    loader: Callable[[], Payload]
 
     def __len__(self) -> int:
         return self.size
@@ -94,7 +99,7 @@ class BufferPool:
             raise ValueError("disk_bandwidth_bytes_per_sec must be positive")
         self._store: dict[int, bytes | DiskBlob] = {}
         self._cache: OrderedDict[int, int] = OrderedDict()  # key -> size
-        self._resident: dict[int, bytes] = {}  # cached payloads of DiskBlob entries
+        self._resident: dict[int, Payload] = {}  # cached payloads of DiskBlob entries
         self._cached_bytes = 0
         # Re-entrant: loaders registered via put_on_disk may themselves be
         # pool-adjacent; RLock keeps an accidental nested read from deadlocking.
@@ -113,7 +118,7 @@ class BufferPool:
         payload: bytes | None = None,
         *,
         size: int | None = None,
-        loader: Callable[[], bytes] | None = None,
+        loader: Callable[[], Payload] | None = None,
     ) -> None:
         """Register a batch as residing on disk (not yet cached).
 
@@ -155,8 +160,13 @@ class BufferPool:
 
     # -- access ---------------------------------------------------------------
 
-    def read(self, key: int) -> bytes:
-        """Read a batch, going through the cache and charging IO on a miss."""
+    def read(self, key: int) -> Payload:
+        """Read a batch, going through the cache and charging IO on a miss.
+
+        Lazy (``DiskBlob``) entries return whatever their loader produced —
+        a zero-copy memoryview for mmap loaders; caching one pins the
+        mapping, so the pool budget still bounds resident bytes.
+        """
         with self._lock:
             if key not in self._store:
                 raise KeyError(f"batch {key} was never stored")
@@ -176,7 +186,7 @@ class BufferPool:
             self._admit(key, payload, keep_resident=isinstance(entry, DiskBlob))
             return payload
 
-    def _admit(self, key: int, payload: bytes, keep_resident: bool) -> None:
+    def _admit(self, key: int, payload: Payload, keep_resident: bool) -> None:
         size = len(payload)
         if size > self.budget_bytes:
             # The batch alone exceeds the budget; it can never be cached.

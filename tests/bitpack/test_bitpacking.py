@@ -129,3 +129,26 @@ class TestBitpackingProperties:
         packed = pack_integers(np.asarray(values, dtype=np.int64))
         restored, _ = PackedIntArray.from_bytes(packed.to_bytes())
         assert np.array_equal(restored.unpack(), np.asarray(values, dtype=np.int64))
+
+    @given(
+        st.lists(
+            st.integers(min_value=2**16, max_value=2**24 - 1), min_size=1, max_size=100
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uint24_fuzz_roundtrip(self, values):
+        """Width 3 (uint24) has no native dtype — fuzz it explicitly."""
+        arr = np.asarray(values, dtype=np.int64)
+        packed = pack_integers(arr)
+        assert packed.width == 3
+        assert np.array_equal(unpack_integers(packed), arr)
+        restored, _ = PackedIntArray.from_bytes(packed.to_bytes())
+        assert np.array_equal(restored.unpack(), arr)
+
+    def test_uint24_edge_values_roundtrip(self):
+        edges = np.array([2**16, 2**16 + 1, 2**24 - 2, 2**24 - 1], dtype=np.int64)
+        packed = pack_integers(edges)
+        assert packed.width == 3
+        restored, consumed = PackedIntArray.from_bytes(packed.to_bytes())
+        assert consumed == packed.nbytes
+        assert np.array_equal(restored.unpack(), edges)

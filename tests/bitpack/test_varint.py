@@ -45,6 +45,45 @@ class TestVarint:
         values = np.array([2**40, 2**50, 2**62])
         assert np.array_equal(decode_varints(encode_varints(values)), values)
 
+    def test_max_int64_roundtrips(self):
+        values = np.array([2**63 - 1], dtype=np.int64)
+        raw = encode_varints(values)
+        assert len(raw) == 9  # exactly MAX_VARINT_BYTES
+        assert np.array_equal(decode_varints(raw), values)
+
+    def test_overlong_varint_rejected(self):
+        # Ten continuation bytes would shift past bit 63 — corrupt stream.
+        with pytest.raises(ValueError, match="overflows int64"):
+            decode_varints(b"\xff" * 10 + b"\x01")
+
+
+class TestTruncatedTail:
+    """A truncated trailing varint is corruption even when ``count`` is met.
+
+    ``decode_varints`` validates the *whole* buffer: the bytes after the
+    ``count``-th value must themselves be complete varints, otherwise a
+    silently-truncated shard file would decode without complaint.
+    """
+
+    def test_truncated_tail_rejected_despite_count(self):
+        raw = encode_varints(np.array([1, 2, 2**20]))
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varints(raw[:-1], count=2)
+
+    def test_lone_continuation_byte_tail_rejected(self):
+        raw = encode_varints(np.array([1, 2])) + b"\x80"
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varints(raw, count=2)
+
+    def test_complete_tail_still_accepted(self):
+        raw = encode_varints(np.array([1, 2, 3, 4]))
+        assert decode_varints(raw, count=2).tolist() == [1, 2]
+
+    def test_overlong_tail_rejected_despite_count(self):
+        raw = encode_varints(np.array([1, 2])) + b"\xff" * 10 + b"\x01"
+        with pytest.raises(ValueError, match="overflows int64"):
+            decode_varints(raw, count=2)
+
 
 class TestVarintProperties:
     @given(st.lists(st.integers(min_value=0, max_value=2**63 - 1), max_size=200))
@@ -58,3 +97,18 @@ class TestVarintProperties:
     def test_small_values_one_byte_each(self, values):
         arr = np.asarray(values, dtype=np.int64)
         assert len(encode_varints(arr)) == arr.size
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**63 - 1), min_size=1, max_size=64),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_truncation_of_final_multibyte_varint_rejected(self, values, cut):
+        """Fuzz: chopping inside the last varint always raises."""
+        arr = np.asarray(values, dtype=np.int64)
+        arr[-1] = max(int(arr[-1]), 128)  # force a multi-byte final varint
+        raw = encode_varints(arr)
+        widths = [len(encode_varints(arr[i : i + 1])) for i in range(arr.size)]
+        cut = min(cut, widths[-1] - 1)
+        with pytest.raises(ValueError):
+            decode_varints(raw[: len(raw) - cut], count=arr.size - 1)

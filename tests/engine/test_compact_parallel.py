@@ -1,0 +1,96 @@
+"""Parallel compaction: executor fan-out and the ``max_shards`` pass budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Dataset
+from repro.data.registry import DATASET_PROFILES
+from repro.engine.compact import fsck_dataset
+
+
+@pytest.fixture(scope="module")
+def census():
+    return DATASET_PROFILES["census"].classification(400, seed=7)
+
+
+@pytest.fixture()
+def drifted(tmp_path, census):
+    """A directory whose every shard re-advises away from DEN."""
+    features, labels = census
+    return Dataset.create(
+        tmp_path / "den", features, labels, scheme="DEN", batch_size=100,
+        executor="serial",
+    )
+
+
+class TestMaxShardsBudget:
+    def test_budget_defers_excess_shards(self, drifted):
+        report = drifted.compact(max_shards=2, executor="serial")
+        assert report.n_reencoded == 2
+        assert report.deferred == 2
+        # The untouched shards stay DEN until a later pass.
+        schemes = [s.scheme for s in drifted.sharded.shards]
+        assert schemes.count("DEN") == 2
+
+    def test_budgeted_passes_converge(self, drifted):
+        first = drifted.compact(max_shards=2, executor="serial")
+        second = drifted.compact(max_shards=2, executor="serial")
+        third = drifted.compact(executor="serial")
+        assert (first.n_reencoded, first.deferred) == (2, 2)
+        assert (second.n_reencoded, second.deferred) == (2, 0)
+        assert not third.changed
+        assert all(s.scheme != "DEN" for s in drifted.sharded.shards)
+
+    def test_zero_budget_is_an_advise_only_pass(self, drifted):
+        report = drifted.compact(max_shards=0, executor="serial")
+        assert report.n_reencoded == 0
+        assert report.deferred == 4
+        assert all(s.scheme == "DEN" for s in drifted.sharded.shards)
+
+    def test_negative_budget_rejected(self, drifted):
+        with pytest.raises(ValueError, match="max_shards"):
+            drifted.compact(max_shards=-1)
+
+    def test_budgeted_pass_leaves_directory_consistent(self, drifted):
+        before = np.vstack([m.to_dense() for m, _ in drifted.batches()])
+        drifted.compact(max_shards=1, executor="serial")
+        assert fsck_dataset(drifted.sharded, remove=False).clean
+        reopened = Dataset.open(drifted.path)
+        decoded = np.vstack([m.to_dense() for m, _ in reopened.batches()])
+        np.testing.assert_allclose(decoded, before)
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_every_executor_produces_identical_results(
+        self, tmp_path, census, executor
+    ):
+        features, labels = census
+        dataset = Dataset.create(
+            tmp_path / f"den-{executor}", features, labels, scheme="DEN",
+            batch_size=100, executor="serial",
+        )
+        before = np.vstack([m.to_dense() for m, _ in dataset.batches()])
+        report = dataset.compact(executor=executor, workers=2)
+        assert report.n_reencoded == 4
+        assert report.executor == executor
+        reopened = Dataset.open(dataset.path)
+        decoded = np.vstack([m.to_dense() for m, _ in reopened.batches()])
+        np.testing.assert_allclose(decoded, before)
+
+    def test_auto_resolves_to_a_known_kind(self, drifted):
+        report = drifted.compact(executor="auto")
+        assert report.executor in ("serial", "thread", "process")
+        assert report.n_reencoded == 4
+
+    def test_unknown_executor_rejected(self, drifted):
+        with pytest.raises(ValueError):
+            drifted.compact(executor="gpu")
+
+    def test_noop_pass_reports_serial(self, drifted):
+        drifted.compact(executor="process")
+        report = drifted.compact(executor="process")
+        assert not report.changed
+        assert report.executor == "serial"

@@ -153,7 +153,7 @@ class TestRowSlice:
             kernels.row_slice(compressed, [-1])
 
     def test_direct_op_schemes_slice_without_full_decode(self, dense):
-        """TOC's row_slice goes through the selection M @ A, not to_dense."""
+        """TOC's row_slice decodes only the selected rows, never to_dense."""
         compressed = get_scheme("TOC").compress(dense)
         calls = []
         original = type(compressed).to_dense

@@ -1,0 +1,131 @@
+"""Backend registry behaviour: selection, fallback, and obs surfacing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import numba_backend
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Every test leaves the process-global backend as it found it."""
+    before = kernels.active_backend()
+    yield
+    kernels.set_backend(before)
+
+
+class TestRegistry:
+    def test_default_backend_is_numpy(self):
+        assert kernels.DEFAULT_BACKEND == "numpy"
+        assert kernels.active_backend() in kernels.BACKENDS
+
+    def test_set_backend_roundtrip(self):
+        assert kernels.set_backend("python") == "python"
+        assert kernels.active_backend() == "python"
+        assert kernels.set_backend("numpy") == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("fortran")
+
+    def test_use_backend_restores_previous(self):
+        kernels.set_backend("numpy")
+        with kernels.use_backend("python") as name:
+            assert name == "python"
+            assert kernels.active_backend() == "python"
+        assert kernels.active_backend() == "numpy"
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "python")
+        monkeypatch.setattr(kernels, "_active_module", None)
+        monkeypatch.setattr(kernels, "_active_name", None)
+        assert kernels.active_backend() == "python"
+
+    def test_unknown_env_value_degrades_to_default(self, monkeypatch):
+        """A typo'd REPRO_KERNELS must not explode the first encode."""
+        monkeypatch.setenv(kernels.ENV_VAR, "garbage")
+        monkeypatch.setattr(kernels, "_active_module", None)
+        monkeypatch.setattr(kernels, "_active_name", None)
+        counter = metrics.counter("kernels.fallbacks", requested="garbage")
+        before = counter.value
+        assert kernels.active_backend() == kernels.DEFAULT_BACKEND
+        assert counter.value == before + 1
+
+
+class TestNumbaFallback:
+    def test_missing_numba_falls_back_to_numpy(self):
+        resolved = kernels.set_backend("numba")
+        if numba_backend.available():
+            assert resolved == "numba"
+        else:
+            assert resolved == "numpy"
+
+    def test_strict_raises_when_unavailable(self):
+        if numba_backend.available():
+            pytest.skip("numba is installed here")
+        with pytest.raises(ImportError, match="numba backend unavailable"):
+            kernels.set_backend("numba", strict=True)
+
+    def test_fallback_is_counted(self):
+        if numba_backend.available():
+            pytest.skip("numba is installed here")
+        counter = metrics.counter("kernels.fallbacks", requested="numba")
+        before = counter.value
+        kernels.set_backend("numba")
+        assert counter.value == before + 1
+
+
+class TestObsSurfacing:
+    def test_calls_are_counted_per_op_and_backend(self):
+        kernels.set_backend("numpy")
+        counter = metrics.counter("kernels.calls", op="varint_encode", backend="numpy")
+        before = counter.value
+        kernels.varint_encode(np.array([1, 2, 3], dtype=np.int64))
+        assert counter.value == before + 1
+
+    def test_backend_label_follows_selection(self):
+        with kernels.use_backend("python"):
+            counter = metrics.counter("kernels.calls", op="vi_gather", backend="python")
+            before = counter.value
+            kernels.vi_gather(np.array([1.5, 2.5]), np.array([1, 0, 1]))
+            assert counter.value == before + 1
+
+
+@pytest.mark.skipif(not numba_backend.available(), reason="numba not installed")
+class TestNumbaKernels:
+    """Exercised only on the CI leg that installs numba."""
+
+    def test_varint_roundtrip_matches_reference(self):
+        from repro.kernels import python_backend
+
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 2**63 - 1, size=200, dtype=np.int64)
+        encoded = numba_backend.varint_encode(values)
+        assert encoded == python_backend.varint_encode(values)
+        decoded, consumed = numba_backend.varint_decode(encoded)
+        assert np.array_equal(decoded, values)
+        assert consumed == len(encoded)
+
+    def test_truncated_tail_raises(self):
+        encoded = numba_backend.varint_encode(np.array([1, 2], dtype=np.int64))
+        with pytest.raises(ValueError, match="truncated"):
+            numba_backend.varint_decode(encoded + b"\x80", count=2)
+
+    def test_row_slice_matches_reference(self):
+        from repro.core.toc import TOCMatrix
+        from repro.kernels import python_backend
+
+        rng = np.random.default_rng(4)
+        dense = np.round(rng.random((30, 8)) * (rng.random((30, 8)) < 0.4), 1)
+        toc = TOCMatrix.encode(dense)
+        enc, tree = toc.logical, toc.decode_tree
+        index = np.array([5, 2, 5, 0, 29])
+        args = (enc.codes, enc.row_offsets, tree.key_columns, tree.key_values,
+                tree.parents, index, enc.n_cols)
+        assert np.array_equal(
+            numba_backend.toc_row_slice(*args), python_backend.toc_row_slice(*args)
+        )

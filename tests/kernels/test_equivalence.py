@@ -1,0 +1,166 @@
+"""Accelerated kernels must be bit-for-bit equivalent to the Python reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import exec as xops
+from repro import kernels
+from repro.compression.registry import available_schemes, get_scheme
+from repro.core.toc import TOCMatrix
+from repro.kernels import numpy_backend, python_backend
+
+ALL_SCHEMES = available_schemes(include_ablations=True)
+
+varint_values = st.lists(
+    st.integers(min_value=0, max_value=2**63 - 1), min_size=0, max_size=64
+)
+
+
+class TestVarintEquivalence:
+    @given(values=varint_values)
+    @settings(max_examples=100, deadline=None)
+    def test_encode_identical(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        assert numpy_backend.varint_encode(arr) == python_backend.varint_encode(arr)
+
+    @given(values=varint_values)
+    @settings(max_examples=100, deadline=None)
+    def test_decode_identical(self, values):
+        raw = python_backend.varint_encode(np.asarray(values, dtype=np.int64))
+        got_np, used_np = numpy_backend.varint_decode(raw)
+        got_py, used_py = python_backend.varint_decode(raw)
+        assert np.array_equal(got_np, got_py)
+        assert used_np == used_py == len(raw)
+
+    @given(values=varint_values, extra=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_count_and_consumed_identical(self, values, extra):
+        """Prefix decodes (validate_tail=False) must agree on bytes consumed."""
+        arr = np.asarray(values, dtype=np.int64)
+        raw = python_backend.varint_encode(arr) + b"\xff" * extra
+        count = len(values)
+        got_np, used_np = numpy_backend.varint_decode(raw, count, False)
+        got_py, used_py = python_backend.varint_decode(raw, count, False)
+        assert np.array_equal(got_np, got_py)
+        assert used_np == used_py
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"\x80",  # lone continuation byte
+            b"\x01\x02\x80",  # truncated trailing varint
+            b"\xff" * 10 + b"\x01",  # >9-byte varint overflows int64
+        ],
+    )
+    def test_error_cases_agree(self, raw):
+        for backend in (python_backend, numpy_backend):
+            with pytest.raises(ValueError):
+                backend.varint_decode(raw)
+
+
+class TestRowSliceEquivalence:
+    @staticmethod
+    def _slice_args(dense, index):
+        toc = TOCMatrix.encode(dense)
+        enc, tree = toc.logical, toc.decode_tree
+        return (
+            enc.codes,
+            enc.row_offsets,
+            tree.key_columns,
+            tree.key_values,
+            tree.parents,
+            np.asarray(index, dtype=np.intp),
+            enc.n_cols,
+        )
+
+    @given(
+        n_rows=st.integers(min_value=1, max_value=40),
+        n_cols=st.integers(min_value=1, max_value=12),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_shapes_and_sparsities(self, n_rows, n_cols, density, seed):
+        rng = np.random.default_rng(seed)
+        dense = np.round(rng.random((n_rows, n_cols)), 1)
+        dense[rng.random((n_rows, n_cols)) >= density] = 0.0
+        index = rng.integers(0, n_rows, size=rng.integers(0, n_rows + 1))
+        args = self._slice_args(dense, index)
+        got = numpy_backend.toc_row_slice(*args)
+        ref = python_backend.toc_row_slice(*args)
+        assert np.array_equal(got, ref)
+        assert np.array_equal(got, dense[index])
+
+    def test_empty_selection(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        args = self._slice_args(dense, [])
+        for backend in (python_backend, numpy_backend):
+            out = backend.toc_row_slice(*args)
+            assert out.shape == (0, 2)
+
+    def test_single_row_input(self):
+        dense = np.array([[0.5, 0.0, 1.5]])
+        args = self._slice_args(dense, [0, 0, 0])
+        for backend in (python_backend, numpy_backend):
+            assert np.array_equal(backend.toc_row_slice(*args), dense[[0, 0, 0]])
+
+
+class TestViGatherEquivalence:
+    @given(
+        n_dict=st.integers(min_value=1, max_value=20),
+        n_codes=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gather_identical(self, n_dict, n_codes, seed):
+        rng = np.random.default_rng(seed)
+        dictionary = rng.normal(size=n_dict)
+        codes = rng.integers(0, n_dict, size=n_codes)
+        assert np.array_equal(
+            numpy_backend.vi_gather(dictionary, codes),
+            python_backend.vi_gather(dictionary, codes),
+        )
+
+
+class TestSchemesAcrossBackends:
+    """Every compression scheme's row_slice agrees across backends."""
+
+    @pytest.mark.parametrize("backend", ("python", "numpy"))
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_row_slice_matches_dense(self, scheme_name, backend, rng):
+        dense = np.round(rng.random((15, 6)) * (rng.random((15, 6)) < 0.5), 1)
+        compressed = get_scheme(scheme_name).compress(dense)
+        rows = [14, 0, 3, 3, 9]  # request order and duplicates must be honoured
+        with kernels.use_backend(backend):
+            np.testing.assert_allclose(
+                xops.row_slice(compressed, rows), dense[rows], rtol=1e-9, atol=1e-12
+            )
+
+    @pytest.mark.parametrize("backend", ("python", "numpy"))
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_empty_and_single_row(self, scheme_name, backend, rng):
+        dense = np.round(rng.random((5, 4)), 1)
+        compressed = get_scheme(scheme_name).compress(dense)
+        with kernels.use_backend(backend):
+            assert xops.row_slice(compressed, []).shape == (0, 4)
+            np.testing.assert_allclose(
+                xops.row_slice(compressed, [2]), dense[[2]], rtol=1e-9
+            )
+
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_roundtrip_bytes_unchanged_by_backend(self, scheme_name, rng):
+        """Serialized payloads are backend-independent."""
+        dense = np.round(rng.random((10, 5)) * (rng.random((10, 5)) < 0.6), 1)
+        scheme = get_scheme(scheme_name)
+        with kernels.use_backend("python"):
+            raw_py = scheme.compress(dense).to_bytes()
+        with kernels.use_backend("numpy"):
+            raw_np = scheme.compress(dense).to_bytes()
+        assert raw_py == raw_np
+        np.testing.assert_allclose(
+            scheme.decompress_bytes(raw_np).to_dense(), dense, rtol=1e-9
+        )

@@ -1,0 +1,114 @@
+"""Zero-copy mmap reads: map_file, the REPRO_MMAP toggle, and shard wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.shards import ShardedDataset
+from repro.storage import mmapio
+
+
+class TestMapFile:
+    def test_returns_memoryview_with_file_contents(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"hello shard")
+        view = mmapio.map_file(path)
+        assert isinstance(view, memoryview)
+        assert view == b"hello shard"
+        assert bytes(view[6:]) == b"shard"
+
+    def test_empty_file_maps_to_empty_view(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        view = mmapio.map_file(path)
+        assert isinstance(view, memoryview)
+        assert len(view) == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            mmapio.map_file(tmp_path / "nope.bin")
+
+    def test_view_outlives_local_scope(self, tmp_path):
+        """The memoryview keeps the underlying mapping alive by itself."""
+        path = tmp_path / "blob.bin"
+        payload = bytes(range(256)) * 64
+        path.write_bytes(payload)
+
+        def make():
+            return mmapio.map_file(path)
+
+        view = make()
+        assert np.array_equal(
+            np.frombuffer(view, dtype=np.uint8),
+            np.frombuffer(payload, dtype=np.uint8),
+        )
+
+
+class TestMmapEnabled:
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", "FALSE", "Off"])
+    def test_falsey_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(mmapio.ENV_VAR, value)
+        assert not mmapio.mmap_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "anything"])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(mmapio.ENV_VAR, value)
+        assert mmapio.mmap_enabled()
+
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv(mmapio.ENV_VAR, raising=False)
+        assert mmapio.mmap_enabled()
+
+
+class TestReadBuffer:
+    def test_mmap_on_returns_memoryview(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(mmapio.ENV_VAR, raising=False)
+        path = tmp_path / "a.bin"
+        path.write_bytes(b"abc")
+        assert isinstance(mmapio.read_buffer(path), memoryview)
+
+    def test_mmap_off_returns_bytes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(mmapio.ENV_VAR, "0")
+        path = tmp_path / "a.bin"
+        path.write_bytes(b"abc")
+        got = mmapio.read_buffer(path)
+        assert isinstance(got, bytes)
+        assert got == b"abc"
+
+    def test_loader_rechecks_env_per_call(self, tmp_path, monkeypatch):
+        path = tmp_path / "a.bin"
+        path.write_bytes(b"abc")
+        loader = mmapio.make_loader(path)
+        monkeypatch.setenv(mmapio.ENV_VAR, "0")
+        assert isinstance(loader(), bytes)
+        monkeypatch.setenv(mmapio.ENV_VAR, "1")
+        assert isinstance(loader(), memoryview)
+
+
+class TestShardIntegration:
+    @pytest.fixture()
+    def dataset(self, tmp_path, rng):
+        batches = []
+        for _ in range(3):
+            dense = np.round(rng.random((20, 6)) * (rng.random((20, 6)) < 0.5), 1)
+            batches.append((dense, rng.integers(0, 2, size=20).astype(np.float64)))
+        return ShardedDataset.create(tmp_path / "ds", batches, "TOC", executor="serial")
+
+    def test_read_payload_is_zero_copy_by_default(self, dataset, monkeypatch):
+        monkeypatch.delenv(mmapio.ENV_VAR, raising=False)
+        payload = dataset.read_payload(0)
+        assert isinstance(payload, memoryview)
+
+    def test_read_payload_honours_toggle(self, dataset, monkeypatch):
+        monkeypatch.setenv(mmapio.ENV_VAR, "0")
+        assert isinstance(dataset.read_payload(0), bytes)
+
+    def test_decode_from_mapped_payload(self, dataset, monkeypatch):
+        monkeypatch.delenv(mmapio.ENV_VAR, raising=False)
+        for shard in dataset.shards:
+            mapped = dataset.decode(shard.batch_id).to_dense()
+            monkeypatch.setenv(mmapio.ENV_VAR, "0")
+            copied = dataset.decode(shard.batch_id).to_dense()
+            monkeypatch.delenv(mmapio.ENV_VAR, raising=False)
+            np.testing.assert_array_equal(mapped, copied)
