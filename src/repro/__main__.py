@@ -26,6 +26,9 @@ a few facade calls plus printing.  Eleven commands are provided:
   and print predictions next to the stored labels (``open_service``);
 * ``serve`` — drive the micro-batched prediction service with a synthetic
   closed-loop client swarm and report throughput / batching / cache stats;
+  ``--workers N`` serves through the multi-process cluster tier instead
+  (``--backlog``, ``--deadline-ms``, ``--admission`` control backpressure
+  and shedding; SIGINT/SIGTERM drain in-flight work and exit 0);
 * ``obs`` — the observability group: ``obs dump`` runs a small encode +
   train + scan exercise and dumps the recorded spans (native JSON or Chrome
   ``chrome://tracing`` format), ``obs metrics`` prints the process metrics
@@ -427,6 +430,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     import numpy as np
 
+    if args.workers > 1:
+        return _cmd_serve_cluster(args)
+
     loaded = _load_service(args)
     if isinstance(loaded, int):
         return loaded
@@ -476,15 +482,131 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _obs_exercise(rows: int) -> None:
-    """Populate spans/metrics with a real encode + train + scan workload.
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """``serve --workers N``: drive the multi-process tier under load.
 
-    Serial executors throughout, so every span lands in this process's
-    tracer (process-pool workers would record into their own).
+    SIGINT/SIGTERM trigger a graceful drain: clients stop issuing new
+    requests, workers finish everything in flight, and the command exits 0.
     """
+    import signal
+    import threading
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
     import numpy as np
 
-    from repro.api import Estimator
+    from repro.api import ClusterError, ClusterService
+
+    try:
+        cluster = ClusterService(
+            args.checkpoint_dir,
+            args.version if args.version == "latest" else int(args.version),
+            shard_dir=args.shards,
+            workers=args.workers,
+            backlog=args.backlog,
+            admission=args.admission,
+            default_deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
+            max_batch_size=args.max_batch,
+            cache_size=args.cache_size,
+        )
+    except FileNotFoundError as exc:
+        print(f"cannot load checkpoint: {exc}")
+        print("train one first: python -m repro train-ooc --shard-dir shards/ "
+              "--checkpoint-dir checkpoints/")
+        return 2
+    except ValueError as exc:
+        print(f"invalid serving configuration: {exc}")
+        return 2
+
+    checkpoint = cluster.checkpoint
+    stop = threading.Event()
+
+    def _drain(signum, _frame):
+        print(f"\nreceived {signal.Signals(signum).name}: draining in-flight work ...")
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _drain) for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    shed = 0
+    done = 0
+    issued = 0
+    count_lock = threading.Lock()
+    try:
+        n_rows = cluster.ping()[0]["n_rows"]
+        rng = np.random.default_rng(args.seed)
+        hot = rng.choice(n_rows, size=max(1, n_rows // 5), replace=False)
+        workload = np.where(
+            rng.random(args.requests) < 0.8,
+            rng.choice(hot, size=args.requests),
+            rng.integers(0, n_rows, size=args.requests),
+        )
+        deadline_text = f"{args.deadline_ms:.0f}ms" if args.deadline_ms else "none"
+        print(
+            f"serving model v{checkpoint.version:05d} ({checkpoint.model_name}) with "
+            f"{args.workers} workers (backlog {args.backlog}/worker, admission "
+            f"{args.admission!r}, deadline {deadline_text}): {args.requests} requests "
+            f"from {args.clients} clients over {n_rows} rows"
+        )
+
+        def client(row_id: int) -> None:
+            nonlocal shed, done
+            if stop.is_set():
+                return
+            try:
+                cluster.predict(int(row_id))
+            except ClusterError:
+                with count_lock:
+                    shed += 1
+            else:
+                with count_lock:
+                    done += 1
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=args.clients) as clients:
+            for row_id in workload:
+                if stop.is_set():
+                    break
+                clients.submit(client, row_id)
+                issued += 1
+        wall = time.perf_counter() - start
+        metrics = cluster.metrics()
+        cluster.close(drain=True)
+
+        skipped = issued - done - shed
+        print(f"\nthroughput: {done / wall:,.0f} answered requests/s ({wall:.3f}s wall)")
+        print(
+            f"requests:   {issued} issued, {done} answered, {shed} shed/failed"
+            + (f", {skipped} skipped at drain" if skipped else "")
+        )
+        depth_keys = sorted(
+            key for key in metrics["gauges"] if key.startswith("cluster.worker.queue_depth")
+        )
+        for key in depth_keys:
+            print(f"{key}: {metrics['gauges'][key]:.0f}")
+        if stop.is_set():
+            print("drained cleanly after signal")
+        return 0
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        cluster.close(drain=True)
+
+
+def _obs_exercise(rows: int) -> None:
+    """Populate spans/metrics with a real encode + train + scan + serve workload.
+
+    Serial executors throughout, so every span lands in this process's
+    tracer (process-pool workers would record into their own).  The serving
+    leg runs a handful of requests through the asyncio surface so the
+    ``cluster.async.*`` admission metrics (in-flight, shed, rejected) show
+    up in the snapshot next to the ``serve.*`` series.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from repro.api import AsyncPredictionService, Estimator
 
     with tempfile.TemporaryDirectory(prefix="repro-obs-") as tmp:
         rng = np.random.default_rng(0)
@@ -503,6 +625,16 @@ def _obs_exercise(rows: int) -> None:
         estimator = Estimator("logreg", scheme="TOC", epochs=2, executor="serial")
         estimator.fit(dataset)
         dataset.scan(where="c0 >= 0", agg="count")
+        estimator.save(f"{tmp}/registry")
+        service, _ = open_service(f"{tmp}/registry", cache_size=32)
+
+        async def serve_leg():
+            async with AsyncPredictionService(service, max_inflight=8) as async_service:
+                await async_service.predict_many(
+                    [int(i) for i in rng.integers(0, rows, size=16)]
+                )
+
+        asyncio.run(serve_leg())
 
 
 def _cmd_obs_dump(args: argparse.Namespace) -> int:
@@ -771,6 +903,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=2000, help="total requests to issue")
     serve.add_argument("--clients", type=int, default=4, help="concurrent client threads")
     serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 serves through the multi-process cluster tier",
+    )
+    serve.add_argument(
+        "--backlog",
+        type=int,
+        default=64,
+        help="max in-flight requests per worker (cluster mode)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in ms; past-deadline queued work is shed "
+        "with an explicit error (cluster mode)",
+    )
+    serve.add_argument(
+        "--admission",
+        choices=("block", "reject"),
+        default="block",
+        help="policy when every worker queue is full: block until a slot "
+        "frees (bounded by the deadline) or reject immediately",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     obs = subparsers.add_parser(

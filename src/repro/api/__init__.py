@@ -14,7 +14,10 @@ Four ideas cover everything a user does with the library:
   vs out-of-core automatically, with ``save``/``load`` through the
   versioned checkpoint registry;
 * :func:`open_service` — turn a checkpoint registry into a live
-  micro-batched :class:`~repro.serve.service.PredictionService`;
+  micro-batched :class:`~repro.serve.service.PredictionService`, or with
+  ``workers=N`` into a multi-process
+  :class:`~repro.cluster.server.ClusterService`; the asyncio face is
+  :class:`~repro.cluster.asyncio_service.AsyncPredictionService`;
 * the building blocks themselves (schemes, advisor, dataset profiles,
   metrics) re-exported so scripts and examples need exactly one import.
 
@@ -32,6 +35,15 @@ from repro import __version__
 from repro.api.dataset import Dataset, DatasetStats
 from repro.api.estimator import MODEL_ALIASES, Estimator, FitReport
 from repro.api.service import open_service
+from repro.cluster import (
+    AsyncPredictionService,
+    ClusterError,
+    ClusterService,
+    DeadlineExceeded,
+    ServiceClosed,
+    ServiceOverloaded,
+    WorkerCrashed,
+)
 from repro.compression import available_schemes, get_scheme
 from repro.core import TOCMatrix
 from repro.core.advisor import recommend_scheme
@@ -58,14 +70,18 @@ from repro.serve.service import PredictionService
 
 __all__ = [
     "Aggregate",
+    "AsyncPredictionService",
     "BenchRegistry",
     "Calibration",
     "Checkpoint",
+    "ClusterError",
+    "ClusterService",
     "CompactReport",
     "Compare",
     "DATASET_PROFILES",
     "Dataset",
     "DatasetStats",
+    "DeadlineExceeded",
     "Estimator",
     "FitReport",
     "FsckReport",
@@ -73,6 +89,9 @@ __all__ = [
     "ModelRegistry",
     "Predicate",
     "PredictionService",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "WorkerCrashed",
     "ScanResult",
     "ShardChange",
     "TOCMatrix",

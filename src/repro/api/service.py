@@ -3,9 +3,13 @@
 :func:`open_service` is the only serving entry point the CLI and examples
 need: it resolves a checkpoint version, opens the shard directory the
 checkpoint recorded (or an override), and wires the feature store,
-micro-batcher, and prediction cache together.  The returned
-:class:`~repro.serve.service.PredictionService` is a context manager — use
-``with`` so the batcher thread is shut down cleanly.
+micro-batcher, and prediction cache together.  ``workers=1`` (the default)
+returns an in-process :class:`~repro.serve.service.PredictionService`;
+``workers>1`` returns the multi-process
+:class:`~repro.cluster.server.ClusterService` instead — same
+``predict``/``predict_many``/``metrics``/``close`` surface, N decoding
+processes behind it.  Both are context managers — use ``with`` so worker
+threads/processes are shut down cleanly.
 """
 
 from __future__ import annotations
@@ -25,14 +29,45 @@ def open_service(
     max_wait_seconds: float = 0.0,
     cache_size: int = 256,
     store_kwargs: dict | None = None,
-) -> tuple[PredictionService, Checkpoint]:
+    workers: int = 1,
+    backlog: int = 64,
+    admission: str = "block",
+    deadline: float | None = None,
+    poll_seconds: float | None = None,
+):
     """Build a prediction service from a checkpoint registry.
 
     ``shard_dir`` overrides the directory recorded in the checkpoint; when
     neither is available the service still answers feature-vector requests
     (but not row-id lookups).  Returns ``(service, checkpoint)`` so callers
     can print provenance (version, model, scheme) next to their stats.
+
+    With ``workers > 1`` the service is a
+    :class:`~repro.cluster.server.ClusterService`: ``workers`` processes
+    each with a private service stack over the shared shard directory,
+    per-worker in-flight bounded at ``backlog``, ``admission`` policy
+    (``"block"``/``"reject"``) when all queues are full, an optional
+    ``deadline`` (seconds) applied to every request, and manifest-generation
+    watching every ``poll_seconds``.  A shard directory is then required.
+    ``max_wait_seconds`` applies only in-process (workers batch greedily).
     """
+    if workers > 1:
+        from repro.cluster.server import ClusterService
+
+        cluster = ClusterService(
+            checkpoint_dir,
+            version,
+            shard_dir=shard_dir,
+            workers=workers,
+            backlog=backlog,
+            admission=admission,
+            default_deadline=deadline,
+            max_batch_size=max_batch_size,
+            cache_size=cache_size,
+            store_kwargs=store_kwargs,
+            poll_seconds=poll_seconds,
+        )
+        return cluster, cluster.checkpoint
     return PredictionService.from_registry(
         checkpoint_dir,
         version,

@@ -1,0 +1,49 @@
+"""repro.cluster — the scale-out serving tier.
+
+Two ways to serve predictions beyond one blocking thread:
+
+* :class:`AsyncPredictionService` — an asyncio facade over one in-process
+  :class:`~repro.serve.service.PredictionService`: ``await
+  service.predict(row_id)`` with micro-batching underneath, bounded
+  in-flight admission, deadlines, and load shedding;
+* :class:`ClusterService` — N worker processes (each with its own buffer
+  pool, feature store, and checkpoint) behind one dispatcher speaking
+  length-prefixed JSON frames over Unix sockets, with per-worker
+  backpressure, crash respawn, and manifest-generation hot re-open.
+
+Both fail *explicitly* under pressure — :class:`ServiceOverloaded`,
+:class:`DeadlineExceeded`, :class:`ServiceClosed`, :class:`WorkerCrashed` —
+and never leave a caller hanging.
+"""
+
+from repro.cluster.asyncio_service import ADMISSION_POLICIES, AsyncPredictionService
+from repro.cluster.errors import (
+    ClusterError,
+    DeadlineExceeded,
+    ServiceClosed,
+    ServiceOverloaded,
+    WorkerCrashed,
+)
+from repro.cluster.protocol import MAX_FRAME_BYTES, ProtocolError, recv_frame, send_frame
+from repro.cluster.server import DEADLINE_GRACE_SECONDS, ClusterService
+from repro.cluster.watch import DEFAULT_POLL_SECONDS, GenerationWatcher
+from repro.cluster.worker import worker_main
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "DEADLINE_GRACE_SECONDS",
+    "DEFAULT_POLL_SECONDS",
+    "MAX_FRAME_BYTES",
+    "AsyncPredictionService",
+    "ClusterError",
+    "ClusterService",
+    "DeadlineExceeded",
+    "GenerationWatcher",
+    "ProtocolError",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "WorkerCrashed",
+    "recv_frame",
+    "send_frame",
+    "worker_main",
+]

@@ -1,0 +1,55 @@
+"""Errors the serving tier raises instead of hanging.
+
+The cluster's contract under pressure is *explicit failure*: a request that
+cannot be served inside its constraints gets one of these immediately,
+never a silent stall.  All of them subclass :class:`RuntimeError` (and
+:class:`DeadlineExceeded` also :class:`TimeoutError`) so existing
+``except RuntimeError`` call sites keep working.
+
+:class:`~repro.serve.batcher.ServiceClosed` is re-exported here so cluster
+users import every serving error from one place.
+"""
+
+from __future__ import annotations
+
+from repro.serve.batcher import ServiceClosed
+
+
+class ClusterError(RuntimeError):
+    """Base class for serving-tier failures."""
+
+
+class ServiceOverloaded(ClusterError):
+    """Every worker queue is full and the admission policy is ``"reject"``.
+
+    The 503 of this stack: the request was never admitted, so retrying
+    later (or against another replica) is always safe.
+    """
+
+
+class DeadlineExceeded(ClusterError, TimeoutError):
+    """The request's deadline passed before a result was produced.
+
+    Raised both by admission (the queues stayed full past the deadline
+    under the ``"block"`` policy) and by completion (the request was
+    admitted but its answer would have arrived too late — the remaining
+    work is cancelled/shed rather than finished for nobody).
+    """
+
+
+class WorkerCrashed(ClusterError):
+    """The worker process holding this request died before answering.
+
+    In-flight requests on a crashed worker fail with this error while the
+    dispatcher respawns the worker; the request itself was *not* retried
+    (prediction is idempotent, so callers may simply resubmit).
+    """
+
+
+__all__ = [
+    "ClusterError",
+    "DeadlineExceeded",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "WorkerCrashed",
+]

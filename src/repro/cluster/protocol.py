@@ -1,0 +1,92 @@
+"""Length-prefixed JSON frames over a stream socket.
+
+The dispatcher and its workers live on the same machine and exchange small
+control/request/response dicts; the wire format is deliberately boring — a
+4-byte big-endian length header followed by that many bytes of UTF-8 JSON:
+
+.. code-block:: text
+
+    +----------------+----------------------------+
+    | length (>I)    | json payload (length bytes)|
+    +----------------+----------------------------+
+
+JSON (rather than pickle) keeps the frames safe to parse from a
+half-trusted peer and debuggable with ``socat``; a binary row payload never
+crosses this boundary — workers read feature bytes straight from the shared
+shard directory, so frames stay a few hundred bytes regardless of model or
+dataset size.  :data:`MAX_FRAME_BYTES` bounds what a frame may claim so a
+corrupt header cannot make the receiver allocate gigabytes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+#: 4-byte big-endian unsigned frame length header.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload; larger claims are protocol errors.
+#: Generous for bulk ``predict_many`` responses, tiny next to a shard.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """The peer sent bytes that do not parse as a sane frame."""
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialise ``message`` and write one complete frame.
+
+    Callers that share a socket between threads must hold their own send
+    lock — ``sendall`` is atomic per call here, but interleaving two frames
+    byte-wise would corrupt the stream.
+    """
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one complete frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF in the *middle* of a frame means the peer died mid-send and raises
+    :class:`ProtocolError` — callers treat it like a crashed peer, not like
+    a graceful shutdown.
+    """
+    header = _recv_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame header claims {length} bytes (max {MAX_FRAME_BYTES})")
+    payload = _recv_exact(sock, length, allow_eof=False)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def _recv_exact(sock: socket.socket, n: int, *, allow_eof: bool):
+    """Read exactly ``n`` bytes, looping over short reads."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining} of {n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+__all__ = ["MAX_FRAME_BYTES", "ProtocolError", "recv_frame", "send_frame"]

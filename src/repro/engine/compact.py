@@ -28,6 +28,7 @@ manifest to format v2 in place.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 
@@ -40,7 +41,13 @@ from repro.engine.encode import (
     resolve_executor,
     resolve_workers,
 )
-from repro.engine.shards import LABELS_NAME, MANIFEST_NAME, ShardedDataset, shard_filename_stem
+from repro.engine.shards import (
+    FORMAT_VERSION,
+    LABELS_NAME,
+    MANIFEST_NAME,
+    ShardedDataset,
+    shard_filename_stem,
+)
 from repro.exec import row_slice, supports_direct_ops
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -145,6 +152,20 @@ def _reencode_one(task: tuple) -> tuple:
     return batch_id, payload
 
 
+def _manifest_is_stale(dataset: ShardedDataset) -> bool:
+    """True when the on-disk manifest needs a rewrite even with no re-encodes.
+
+    Covers the v1 → v2 format upgrade (compact promises to leave every
+    directory it touches on the current format) and a missing/corrupt
+    manifest file.
+    """
+    try:
+        manifest = json.loads((dataset.directory / MANIFEST_NAME).read_text())
+    except (OSError, ValueError):
+        return True
+    return manifest.get("format_version") != FORMAT_VERSION
+
+
 def compact_dataset(
     dataset: ShardedDataset,
     *,
@@ -245,8 +266,12 @@ def compact_dataset(
                     )
         # One atomic manifest write publishes every staged shard (and, for a v1
         # directory, upgrades the on-disk manifest to format v2).  Only after
-        # that swap are the superseded generation files garbage.
-        dataset.rewrite_manifest()
+        # that swap are the superseded generation files garbage.  A true no-op
+        # pass (nothing re-encoded, manifest already current) skips the rewrite
+        # so the generation doesn't bump — live services watch it and would
+        # otherwise re-open their stores for nothing.
+        if superseded or _manifest_is_stale(dataset):
+            dataset.rewrite_manifest()
         for filename in superseded:
             (dataset.directory / filename).unlink(missing_ok=True)
     report.payload_bytes_after = dataset.total_payload_bytes()

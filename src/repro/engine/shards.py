@@ -21,6 +21,14 @@ Manifest format v2 records the compression scheme *per shard* (what
 ``scheme="auto"`` encoding produces on mixed-density data); v1 manifests —
 one dataset-wide ``"scheme"`` key — are still read and upgraded on the fly
 by applying that scheme to every shard.
+
+Every manifest rewrite also bumps a monotonically increasing ``generation``
+counter.  Shard files are immutable *between* manifest swaps, so the
+generation is the one value a read-only observer (a serving worker sharing
+the directory) needs to poll: unchanged generation means every file it has
+open is still the live one; a bumped generation means an append/compact
+published new files and the observer should re-open
+(:func:`read_generation` reads it without constructing a dataset).
 """
 
 from __future__ import annotations
@@ -67,6 +75,20 @@ MIXED_SCHEME = "mixed"
 _SHARD_FILENAME_RE = re.compile(r"^(?P<stem>.+?)(?:\.g(?P<gen>\d+))?\.bin$")
 
 
+def read_generation(directory: Path | str) -> int:
+    """The manifest generation at ``directory``, cheaply.
+
+    Reads only the manifest JSON (no labels, no shard table objects) — what
+    a serving worker polls between requests.  Manifests written before the
+    counter existed report generation ``0``; a missing manifest raises
+    :class:`FileNotFoundError` like :meth:`ShardedDataset.open` would.
+    """
+    manifest_path = Path(directory) / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no shard manifest at {manifest_path}")
+    return int(json.loads(manifest_path.read_text()).get("generation", 0))
+
+
 def shard_filename_stem(name: str) -> str | None:
     """The generation-free stem of a shard filename, or ``None`` for other files.
 
@@ -100,6 +122,7 @@ class ShardedDataset:
         encode_seconds: float = 0.0,
         requested_scheme: str | list[str] | None = None,
         encode_executor: str | None = None,
+        generation: int = 0,
     ):
         self.directory = Path(directory)
         self.shards = list(shards)
@@ -109,6 +132,8 @@ class ShardedDataset:
         self.requested_scheme = requested_scheme
         #: The executor kind that last encoded shards, for provenance.
         self.encode_executor = encode_executor
+        #: Bumped by every :meth:`rewrite_manifest`; what observers poll.
+        self.generation = generation
         self._schemes: dict[str, CompressionScheme] = {}
 
     # -- creation -------------------------------------------------------------
@@ -215,6 +240,7 @@ class ShardedDataset:
             encode_seconds=float(manifest.get("encode_seconds", 0.0)),
             requested_scheme=manifest.get("requested_scheme", manifest.get("scheme")),
             encode_executor=manifest.get("encode_executor"),
+            generation=int(manifest.get("generation", 0)),
         )
 
     # -- durability ------------------------------------------------------------
@@ -231,9 +257,16 @@ class ShardedDataset:
         The new manifest is written next to the old one and swapped in with
         ``os.replace``, so a crash mid-write never leaves a torn manifest —
         readers see either the old dataset or the new one.
+
+        Each rewrite bumps :attr:`generation` *before* the swap, so the
+        published manifest always carries a strictly higher generation than
+        the one it replaced — pollers (:func:`read_generation`) treat any
+        change as "files may have moved, re-open".
         """
+        self.generation += 1
         manifest = {
             "format_version": FORMAT_VERSION,
+            "generation": self.generation,
             # Dataset-level summary (the uniform scheme, or "mixed"); the
             # authoritative per-shard schemes live in the shard rows.
             "scheme": self.scheme_name,
@@ -435,5 +468,6 @@ __all__ = [
     "MIXED_SCHEME",
     "ShardInfo",
     "ShardedDataset",
+    "read_generation",
     "shard_filename_stem",
 ]

@@ -17,7 +17,7 @@ plus a shard directory into a high-throughput prediction service:
    batcher together with a prediction LRU and latency/throughput counters.
 """
 
-from repro.serve.batcher import MicroBatcher, MicroBatcherStats
+from repro.serve.batcher import MicroBatcher, MicroBatcherStats, ServiceClosed
 from repro.serve.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     SUPPORTED_CHECKPOINT_VERSIONS,
@@ -39,6 +39,7 @@ __all__ = [
     "MicroBatcherStats",
     "ModelRegistry",
     "PredictionService",
+    "ServiceClosed",
     "ServiceStats",
     "load_checkpoint",
     "save_checkpoint",

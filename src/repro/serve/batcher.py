@@ -26,6 +26,16 @@ from repro.obs import metrics as obs_metrics
 _SENTINEL = object()
 
 
+class ServiceClosed(RuntimeError):
+    """The service/batcher was closed; the request was not (or will not be) served.
+
+    Raised by :meth:`MicroBatcher.submit` after :meth:`MicroBatcher.close`,
+    and set on every still-queued future when a batcher is closed with
+    ``drain=False`` — callers blocked on ``future.result()`` get this error
+    instead of hanging on a future nobody will ever resolve.
+    """
+
+
 @dataclass
 class MicroBatcherStats:
     """Counters accumulated by a :class:`MicroBatcher`."""
@@ -93,6 +103,7 @@ class MicroBatcher:
             )
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
+        self._drain_on_close = True
         # Makes "closed-check + put" atomic against close(): without it a
         # submit could slip its request in after the shutdown sentinel and
         # block its caller on a future nobody will ever resolve.
@@ -107,7 +118,7 @@ class MicroBatcher:
         future: Future = Future()
         with self._submit_lock:
             if self._closed:
-                raise RuntimeError("batcher is closed")
+                raise ServiceClosed("batcher is closed")
             self._queue.put((request, future, time.perf_counter()))
         return future
 
@@ -115,12 +126,22 @@ class MicroBatcher:
         """Blocking convenience: submit and wait for the result."""
         return self.submit(request).result()
 
-    def close(self) -> None:
-        """Stop accepting requests, drain what is queued, join the worker."""
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and join the worker.
+
+        With ``drain=True`` (the default) everything queued before the close
+        is still served, in batches, before the worker exits.  With
+        ``drain=False`` queued requests are *failed* instead: each pending
+        future gets :class:`ServiceClosed`, so blocked callers return
+        immediately with an explicit error rather than waiting out a drain
+        (or, in the failure modes this guards against, forever).  Either
+        way no caller is left hanging, and a second close is a no-op.
+        """
         with self._submit_lock:
             if self._closed:
                 return
             self._closed = True
+            self._drain_on_close = drain
             self._queue.put(_SENTINEL)
         self._worker.join()
 
@@ -133,6 +154,16 @@ class MicroBatcher:
     # -- worker side ----------------------------------------------------------
 
     def _run(self) -> None:
+        try:
+            self._loop()
+        except BaseException as exc:  # pragma: no cover - belt and braces
+            # The loop is written not to raise, but if it ever does the
+            # worker must not die silently: every still-queued caller gets
+            # the error instead of blocking forever on an orphaned future.
+            self._fail_queued(exc)
+            raise
+
+    def _loop(self) -> None:
         while True:
             item = self._queue.get()
             if item is _SENTINEL:
@@ -160,7 +191,16 @@ class MicroBatcher:
                 return
 
     def _drain(self) -> None:
-        """Serve whatever was queued before shutdown, still in batches."""
+        """Resolve everything queued before shutdown: serve it, or fail it.
+
+        ``close(drain=True)`` serves the backlog in batches;
+        ``close(drain=False)`` fails every queued future with
+        :class:`ServiceClosed`.  Both end with an empty queue and no caller
+        blocked.
+        """
+        if not self._drain_on_close:
+            self._fail_queued(ServiceClosed("batcher closed before the request ran"))
+            return
         batch: list = []
         while True:
             try:
@@ -176,7 +216,25 @@ class MicroBatcher:
         if batch:
             self._dispatch(batch)
 
+    def _fail_queued(self, exc: BaseException) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _SENTINEL:
+                continue
+            _resolve(item[1], exception=exc)
+
     def _dispatch(self, batch: list) -> None:
+        if self._closed and not self._drain_on_close:
+            # A no-drain close is in effect: the queue is FIFO, so requests
+            # enqueued before the sentinel would otherwise still be served.
+            # Fail them instead — close(drain=False) promises exactly that.
+            exc = ServiceClosed("batcher closed before the request ran")
+            for _, future, _ in batch:
+                _resolve(future, exception=exc)
+            return
         inputs = [request for request, _, _ in batch]
         self.stats.requests += len(batch)
         self.stats.batches += 1
@@ -193,7 +251,24 @@ class MicroBatcher:
                 )
         except BaseException as exc:  # propagate to every blocked caller
             for _, future, _ in batch:
-                future.set_exception(exc)
+                _resolve(future, exception=exc)
             return
         for (_, future, _), output in zip(batch, outputs):
-            future.set_result(output)
+            _resolve(future, result=output)
+
+
+def _resolve(future: Future, *, result=None, exception=None) -> None:
+    """Resolve a caller's future without ever killing the worker thread.
+
+    A caller may have cancelled its future (the asyncio bridge does on
+    deadline), in which case ``set_result``/``set_exception`` raise
+    ``InvalidStateError`` — before this guard that exception escaped
+    ``_dispatch``, killed the worker, and silently abandoned every queued
+    request behind the cancelled one.
+    """
+    if not future.set_running_or_notify_cancel():
+        return  # cancelled by the caller; nobody is waiting on it
+    if exception is not None:
+        future.set_exception(exception)
+    else:
+        future.set_result(result)

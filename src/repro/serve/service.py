@@ -16,6 +16,7 @@ import itertools
 import threading
 import time
 from collections.abc import Iterable
+from concurrent.futures import Future
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -186,6 +187,9 @@ class PredictionService:
         self.store = store
         self.cache_size = cache_size
         self._svc_id = next(_SVC_IDS)
+        # Serialises generation reopens; the `store` attribute itself is
+        # swapped atomically so readers never need this lock.
+        self._reopen_lock = threading.Lock()
         # Re-entrant: the metrics share this lock, so a stats mutator called
         # while the service already holds it must be able to re-acquire.
         self._lock = threading.RLock()  # guards stats only; the caches self-lock
@@ -233,7 +237,18 @@ class PredictionService:
         matrix = np.empty((len(requests), self._n_features()), dtype=np.float64)
         if row_ids:
             id_positions = [i for i, (kind, _) in enumerate(requests) if kind == "id"]
-            matrix[id_positions] = self.store.get_rows(row_ids)
+            try:
+                rows = self.store.get_rows(row_ids)
+            except OSError:
+                # A compact/append swapped the manifest and deleted the files
+                # this store's lazy loaders still point at.  Shards are
+                # immutable between swaps and compaction preserves row order,
+                # so re-opening at the new generation and retrying is always
+                # correct — in-flight requests survive the swap.
+                if not self.reopen_store():
+                    raise
+                rows = self.store.get_rows(row_ids)
+            matrix[id_positions] = rows
         for i, (kind, req) in enumerate(requests):
             if kind == "vec":
                 matrix[i] = req
@@ -253,8 +268,16 @@ class PredictionService:
 
     # -- single-row API --------------------------------------------------------
 
-    def predict_id(self, row_id: int) -> float:
-        """Predict for one stored row, through cache and micro-batcher."""
+    def submit_id(self, row_id: int) -> Future:
+        """Non-blocking :meth:`predict_id`: a future for one stored row.
+
+        The prediction cache is probed inline (a hit returns an
+        already-resolved future); a miss goes through the micro-batcher and
+        resolves from its worker thread.  Stats and the cache fill happen in
+        a done-callback, so the caller never blocks — this is the bridge the
+        asyncio surface (:class:`repro.cluster.AsyncPredictionService`)
+        wraps with ``asyncio.wrap_future``.
+        """
         row_id = int(row_id)
         start = time.perf_counter()
         if self._cache is not None:
@@ -263,23 +286,40 @@ class PredictionService:
                 if value is not None:
                     self.stats.record_cache_hit()
                     self.stats.record_request(time.perf_counter() - start)
-                    return value
+                    future: Future = Future()
+                    future.set_result(value)
+                    return future
                 self.stats.record_cache_miss()
-        value = self._batcher.submit(("id", row_id)).result()
-        if self._cache is not None:
-            self._cache.put(row_id, value)
+        future = self._batcher.submit(("id", row_id))
+        future.add_done_callback(
+            lambda f: self._finish_submit(f, row_id=row_id, start=start)
+        )
+        return future
+
+    def submit_vector(self, features: np.ndarray) -> Future:
+        """Non-blocking :meth:`predict_vector` (uncached, micro-batched)."""
+        start = time.perf_counter()
+        vector = np.asarray(features, dtype=np.float64).ravel()
+        future = self._batcher.submit(("vec", vector))
+        future.add_done_callback(lambda f: self._finish_submit(f, start=start))
+        return future
+
+    def _finish_submit(self, future: Future, *, row_id: int | None = None, start: float = 0.0):
+        """Done-callback: fill the cache and count the request on success."""
+        if future.cancelled() or future.exception() is not None:
+            return
+        if row_id is not None and self._cache is not None:
+            self._cache.put(row_id, future.result())
         with self._lock:
             self.stats.record_request(time.perf_counter() - start)
-        return value
+
+    def predict_id(self, row_id: int) -> float:
+        """Predict for one stored row, through cache and micro-batcher."""
+        return self.submit_id(row_id).result()
 
     def predict_vector(self, features: np.ndarray) -> float:
         """Predict for one raw feature vector (uncached, micro-batched)."""
-        start = time.perf_counter()
-        vector = np.asarray(features, dtype=np.float64).ravel()
-        value = self._batcher.submit(("vec", vector)).result()
-        with self._lock:
-            self.stats.record_request(time.perf_counter() - start)
-        return value
+        return self.submit_vector(features).result()
 
     # -- bulk API --------------------------------------------------------------
 
@@ -308,6 +348,61 @@ class PredictionService:
             self.stats.record_request(elapsed)
         return predictions
 
+    # -- generation watching ---------------------------------------------------
+
+    @property
+    def generation(self) -> int | None:
+        """The manifest generation the feature store was opened at."""
+        store = self.store
+        return store.dataset.generation if store is not None else None
+
+    def reopen_store(self) -> bool:
+        """Re-open the feature store over the same shard directory.
+
+        Called when the on-disk manifest generation moved past the one this
+        service opened (a ``Dataset.compact``/``append`` swap).  The new
+        store is built complete, then swapped in with one attribute
+        assignment — in-flight requests finish on whichever store they
+        started with, which is safe because shard data is immutable between
+        swaps (compaction re-encodes bytes, never changes rows).  Returns
+        ``False`` for store-less services.  The row/parsed caches start
+        cold; the buffer-pool budget resets to the new generation's full
+        payload (the open-time default).
+        """
+        from repro.serve.feature_store import FeatureStore as _FS
+
+        store = self.store
+        if store is None:
+            return False
+        with self._reopen_lock:
+            current = self.store
+            self.store = _FS.open(
+                current.dataset.directory,
+                decoded_cache_rows=current.decoded_cache_rows,
+                parsed_cache_shards=current.parsed_cache_shards,
+            )
+        obs_metrics.counter("serve.store.reopens", svc=self._svc_id).inc()
+        return True
+
+    def maybe_reopen_store(self) -> bool:
+        """Reopen only if the on-disk generation moved; returns whether it did.
+
+        This is the cheap poll a generation watcher calls: one manifest JSON
+        read, and nothing else unless the generation actually changed.
+        """
+        store = self.store
+        if store is None:
+            return False
+        from repro.engine.shards import read_generation
+
+        try:
+            current = read_generation(store.dataset.directory)
+        except (FileNotFoundError, ValueError):
+            return False  # mid-swap or gone; the retry path covers races
+        if current == store.dataset.generation:
+            return False
+        return self.reopen_store()
+
     # -- lifecycle -------------------------------------------------------------
 
     def metrics(self) -> dict:
@@ -330,8 +425,13 @@ class PredictionService:
     def store_stats(self):
         return self.store.stats if self.store is not None else None
 
-    def close(self) -> None:
-        self._batcher.close()
+    def close(self, drain: bool = True) -> None:
+        """Shut the micro-batcher down; see :meth:`MicroBatcher.close`.
+
+        ``drain=False`` fails still-queued requests with
+        :class:`~repro.serve.batcher.ServiceClosed` instead of serving them.
+        """
+        self._batcher.close(drain=drain)
 
     def __enter__(self) -> "PredictionService":
         return self

@@ -1,0 +1,229 @@
+"""Tests for the multi-process serving tier (dispatcher + workers)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Dataset, Estimator, open_service
+from repro.cluster import (
+    ClusterService,
+    DeadlineExceeded,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.data.registry import DATASET_PROFILES
+
+N_ROWS = 240
+
+
+@pytest.fixture(scope="module")
+def published(tmp_path_factory):
+    features, labels = DATASET_PROFILES["census"].classification(N_ROWS, seed=21)
+    shard_dir = tmp_path_factory.mktemp("cluster-shards")
+    registry = tmp_path_factory.mktemp("cluster-registry")
+    dataset = Dataset.create(
+        shard_dir, features, labels, scheme="TOC", batch_size=60, executor="serial"
+    )
+    estimator = Estimator("logreg", epochs=2, learning_rate=0.3)
+    estimator.fit(dataset)
+    estimator.save(registry)
+    # The authoritative baseline comes from the same store the workers read:
+    # stored rows are the model's actual serving inputs.
+    service, _ = open_service(registry, cache_size=0)
+    expected = np.asarray(
+        estimator.predict(service.store.get_rows(list(range(N_ROWS))))
+    )
+    service.close()
+    return registry, shard_dir, expected
+
+
+@pytest.fixture(scope="module")
+def cluster(published):
+    """One two-worker cluster shared by the read-only tests (spawn is slow)."""
+    registry, shard_dir, _ = published
+    service = ClusterService(
+        registry, shard_dir=shard_dir, workers=2, backlog=8, cache_size=16
+    )
+    yield service
+    service.close()
+
+
+class TestServing:
+    def test_ping_reports_every_worker(self, cluster):
+        statuses = cluster.ping()
+        assert [s["worker"] for s in statuses] == [0, 1]
+        assert all(s["n_rows"] == N_ROWS for s in statuses)
+        assert len({s["pid"] for s in statuses}) == 2
+
+    def test_predictions_match_the_model(self, cluster, published):
+        _, _, expected = published
+        ids = [0, 17, 100, N_ROWS - 1]
+        values = [cluster.predict(i) for i in ids]
+        np.testing.assert_allclose(values, expected[ids])
+
+    def test_predict_many_bulk_path(self, cluster, published):
+        _, _, expected = published
+        values = cluster.predict_many(range(N_ROWS))
+        np.testing.assert_allclose(values, expected)
+
+    def test_concurrent_clients_spread_over_workers(self, cluster, published):
+        _, _, expected = published
+        results: dict[int, float] = {}
+        lock = threading.Lock()
+
+        def client(start: int) -> None:
+            for i in range(start, N_ROWS, 8):
+                value = cluster.predict(i)
+                with lock:
+                    results[i] = value
+
+        threads = [threading.Thread(target=client, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(results) == N_ROWS
+        np.testing.assert_allclose(
+            [results[i] for i in range(N_ROWS)], expected
+        )
+
+    def test_submit_returns_a_future(self, cluster, published):
+        _, _, expected = published
+        future = cluster.submit(3)
+        assert future.result(timeout=10) == pytest.approx(expected[3])
+
+    def test_unknown_row_fails_that_request_only(self, cluster):
+        from repro.cluster import ClusterError
+
+        with pytest.raises(ClusterError):
+            cluster.predict_many([0, N_ROWS + 5000])
+        assert cluster.predict(0) is not None  # the worker survived
+
+    def test_expired_deadline_is_shed_with_explicit_error(self, cluster):
+        with pytest.raises(DeadlineExceeded):
+            cluster.predict(0, deadline=-0.001)
+
+    def test_metrics_have_per_worker_labels(self, cluster):
+        cluster.predict(0)
+        metrics = cluster.metrics()
+        assert sorted(metrics["workers"]) == ["0", "1"]
+        counters = metrics["counters"]
+        assert "cluster.worker.requests{worker=0}" in counters
+        assert "cluster.worker.requests{worker=1}" in counters
+        assert "cluster.server.requests" in counters
+        gauges = metrics["gauges"]
+        assert "cluster.worker.queue_depth{worker=0}" in gauges
+        # Every worker also reports its own full serve-level snapshot.
+        assert "serve.requests" in metrics["workers"]["0"]["counters"]
+
+    def test_generations_visible(self, cluster):
+        assert cluster.generations() == [1, 1]
+
+
+class TestCrashRecovery:
+    def test_worker_crash_heals_by_respawn(self, cluster, published):
+        from repro.cluster import WorkerCrashed
+
+        _, _, expected = published
+        pids_before = {s["worker"]: s["pid"] for s in cluster.ping()}
+        cluster.crash_worker(0)
+        # Poll until the respawned worker answers with a fresh pid; pings
+        # during the down window legitimately fail with WorkerCrashed.
+        deadline = time.monotonic() + 60
+        pids_after = None
+        while time.monotonic() < deadline:
+            try:
+                pids = {s["worker"]: s["pid"] for s in cluster.ping()}
+            except WorkerCrashed:
+                pids = {}
+            if len(pids) == 2 and pids[0] != pids_before[0]:
+                pids_after = pids
+                break
+            time.sleep(0.05)
+        assert pids_after is not None, "worker 0 was not respawned in time"
+        assert pids_after[1] == pids_before[1]  # the other one untouched
+        np.testing.assert_allclose(
+            cluster.predict_many([0, 1, 2]), expected[[0, 1, 2]]
+        )
+
+
+class TestBackpressure:
+    @pytest.fixture(scope="class")
+    def tiny(self, published):
+        """workers=1, backlog=1: one in-flight request saturates the cluster."""
+        registry, shard_dir, _ = published
+        service = ClusterService(
+            registry,
+            shard_dir=shard_dir,
+            workers=1,
+            backlog=1,
+            admission="reject",
+            cache_size=0,
+        )
+        yield service
+        service.close()
+
+    def test_saturated_reject_fails_fast(self, tiny):
+        # A large bulk request occupies the single slot for a while...
+        blocker = threading.Thread(
+            target=lambda: tiny.predict_many(list(range(N_ROWS)) * 400)
+        )
+        blocker.start()
+        try:
+            give_up = time.monotonic() + 10
+            while tiny.inflight == 0 and time.monotonic() < give_up:
+                time.sleep(0.001)
+            assert tiny.inflight == 1
+            # ... so the next request is refused immediately, not queued.
+            start = time.monotonic()
+            with pytest.raises(ServiceOverloaded):
+                tiny.submit(0)
+            assert time.monotonic() - start < 1.0
+        finally:
+            blocker.join(timeout=60)
+        assert tiny.metrics()["counters"]["cluster.server.rejected"] >= 1
+
+    def test_close_rejects_new_work_with_service_closed(self, published):
+        registry, shard_dir, _ = published
+        service = ClusterService(
+            registry, shard_dir=shard_dir, workers=1, backlog=4
+        )
+        assert service.predict(0) is not None
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.predict(1)
+        service.close()  # idempotent
+
+
+class TestBlockingAdmission:
+    def test_blocked_admission_sheds_on_deadline(self, published):
+        registry, shard_dir, _ = published
+        service = ClusterService(
+            registry,
+            shard_dir=shard_dir,
+            workers=1,
+            backlog=1,
+            admission="block",
+            cache_size=0,
+        )
+        try:
+            blocker = threading.Thread(
+                target=lambda: service.predict_many(list(range(N_ROWS)) * 400)
+            )
+            blocker.start()
+            give_up = time.monotonic() + 10
+            while service.inflight == 0 and time.monotonic() < give_up:
+                time.sleep(0.001)
+            assert service.inflight == 1
+            start = time.monotonic()
+            with pytest.raises(DeadlineExceeded):
+                service.predict(0, deadline=0.15)
+            # Shed when the deadline passed, not when the blocker finished.
+            assert time.monotonic() - start < 5
+            blocker.join(timeout=60)
+        finally:
+            service.close()

@@ -1,0 +1,99 @@
+"""Tests for the length-prefixed JSON frame protocol."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestRoundTrip:
+    def test_one_frame_round_trips(self, pair):
+        left, right = pair
+        message = {"op": "predict", "id": 7, "row_id": 42, "deadline": None}
+        send_frame(left, message)
+        assert recv_frame(right) == message
+
+    def test_frames_preserve_order(self, pair):
+        left, right = pair
+        for i in range(10):
+            send_frame(left, {"id": i})
+        assert [recv_frame(right)["id"] for _ in range(10)] == list(range(10))
+
+    def test_large_frame_round_trips(self, pair):
+        left, right = pair
+        message = {"values": list(range(50_000))}
+        # sendall on a socketpair can block once the kernel buffer fills;
+        # write from a helper thread while this side reads.
+        sender = threading.Thread(target=send_frame, args=(left, message))
+        sender.start()
+        received = recv_frame(right)
+        sender.join(timeout=10)
+        assert received == message
+
+    def test_unicode_survives(self, pair):
+        left, right = pair
+        send_frame(left, {"message": "déjà vu — ⚡"})
+        assert recv_frame(right)["message"] == "déjà vu — ⚡"
+
+
+class TestEdges:
+    def test_clean_eof_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+    def test_mid_frame_eof_is_a_protocol_error(self, pair):
+        left, right = pair
+        payload = b'{"id": 1}'
+        left.sendall(struct.pack(">I", len(payload)) + payload[:3])
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_oversized_header_rejected_without_allocating(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="claims"):
+            recv_frame(right)
+
+    def test_oversized_send_rejected(self, pair):
+        left, _ = pair
+        with pytest.raises(ProtocolError, match="exceeds"):
+            send_frame(left, {"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_json_payload_rejected(self, pair):
+        left, right = pair
+        garbage = b"\xff\xfe not json"
+        left.sendall(struct.pack(">I", len(garbage)) + garbage)
+        with pytest.raises(ProtocolError, match="JSON"):
+            recv_frame(right)
+
+    def test_non_object_payload_rejected(self, pair):
+        left, right = pair
+        payload = b"[1, 2, 3]"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="object"):
+            recv_frame(right)
+
+    def test_empty_object_round_trips(self, pair):
+        left, right = pair
+        send_frame(left, {})
+        assert recv_frame(right) == {}

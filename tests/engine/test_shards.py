@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -14,7 +16,12 @@ from repro.engine.encode import (
     resolve_scheme_name,
     resolve_workers,
 )
-from repro.engine.shards import MIXED_SCHEME, ShardedDataset
+from repro.engine.shards import (
+    MANIFEST_NAME,
+    MIXED_SCHEME,
+    ShardedDataset,
+    read_generation,
+)
 from repro.storage.buffer_pool import BufferPool
 
 
@@ -262,3 +269,33 @@ class TestShardedDataset:
         dataset.stage_shard(0, get_scheme("DEN").compress(dense).to_bytes(), "DEN")
         info = dataset.stage_shard(0, get_scheme("CSR").compress(dense).to_bytes(), "CSR")
         assert info.filename == "shard-00000.g2.bin"
+
+
+class TestManifestGeneration:
+    def test_create_publishes_generation_one(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        assert dataset.generation == 1
+        assert read_generation(tmp_path) == 1
+        assert ShardedDataset.open(tmp_path).generation == 1
+
+    def test_every_manifest_swap_bumps_the_generation(self, tmp_path, small_batches):
+        dataset = ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        before = dataset.generation
+        dataset.append([small_batches[0]], executor="serial")
+        assert dataset.generation == before + 1
+        assert read_generation(tmp_path) == before + 1
+        dataset.rewrite_manifest()
+        assert read_generation(tmp_path) == before + 2
+
+    def test_read_generation_without_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_generation(tmp_path)
+
+    def test_pre_generation_manifest_reads_as_zero(self, tmp_path, small_batches):
+        ShardedDataset.create(tmp_path, small_batches, "TOC", executor="serial")
+        manifest_path = tmp_path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["generation"]
+        manifest_path.write_text(json.dumps(manifest))
+        assert read_generation(tmp_path) == 0
+        assert ShardedDataset.open(tmp_path).generation == 0

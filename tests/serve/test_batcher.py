@@ -7,7 +7,7 @@ import time
 
 import pytest
 
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import MicroBatcher, ServiceClosed
 
 
 class TestBasics:
@@ -123,3 +123,53 @@ class TestFailureAndShutdown:
         batcher = MicroBatcher(lambda xs: xs)
         batcher.close()
         batcher.close()
+
+    def test_submit_after_close_raises_service_closed(self):
+        batcher = MicroBatcher(lambda xs: xs)
+        batcher.close()
+        with pytest.raises(ServiceClosed):
+            batcher.submit(1)
+
+    def test_close_without_drain_fails_queued_requests(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def handler(xs):
+            started.set()
+            release.wait(timeout=5)
+            return xs
+
+        batcher = MicroBatcher(handler, max_batch_size=1)
+        first = batcher.submit(0)
+        started.wait(timeout=5)
+        queued = [batcher.submit(i) for i in range(1, 5)]
+        # close() joins the worker, which is parked in the handler — run it
+        # from a helper thread, then release the in-flight batch.
+        closer = threading.Thread(target=batcher.close, kwargs={"drain": False})
+        closer.start()
+        release.set()
+        closer.join(timeout=5)
+        assert not closer.is_alive()
+        # The in-flight request was served; everything queued behind it was
+        # failed explicitly — no caller left hanging.
+        assert first.result(timeout=5) == 0
+        for future in queued:
+            with pytest.raises(ServiceClosed):
+                future.result(timeout=5)
+
+    def test_cancelled_future_does_not_kill_the_worker(self):
+        release = threading.Event()
+
+        def handler(xs):
+            release.wait(timeout=5)
+            return xs
+
+        with MicroBatcher(handler, max_batch_size=1) as batcher:
+            blocker = batcher.submit(0)
+            cancelled = batcher.submit(1)
+            survivor = batcher.submit(2)
+            assert cancelled.cancel()
+            release.set()
+            # The worker must skip the cancelled future and keep serving.
+            assert blocker.result(timeout=5) == 0
+            assert survivor.result(timeout=5) == 2
